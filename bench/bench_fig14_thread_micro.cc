@@ -1,0 +1,8 @@
+#include "bench/bench_thread_micro_main.h"
+#include "sim/machine.h"
+
+int main() {
+  return run_thread_micro(
+      sim::davinci(),
+      "Fig. 14 — Thread micro-benchmarks, MVAPICH2/InfiniBand (DAVinCI)");
+}

@@ -1,0 +1,9 @@
+#include "bench/bench_thread_micro_main.h"
+#include "sim/machine.h"
+
+int main() {
+  return run_thread_micro(
+      sim::jaguar(),
+      "Fig. 15 — Thread micro-benchmarks, MPICH2/Gemini (Jaguar), including "
+      "the paper's repeatable 2-thread anomaly");
+}

@@ -1,0 +1,117 @@
+// Runtime primitive micro-benchmarks (google-benchmark): the real-thread
+// costs of the building blocks the simulator's MachineConfig parameterizes.
+// Not a paper figure — this is the calibration/ablation companion that keeps
+// the model constants honest on whatever host runs the suite.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/api.h"
+#include "core/ddf.h"
+#include "core/phaser.h"
+#include "smpi/comm.h"
+#include "smpi/world.h"
+#include "support/chase_lev_deque.h"
+#include "support/mpsc_queue.h"
+
+namespace {
+
+void BM_TaskSpawn(benchmark::State& state) {
+  hc::Runtime rt({.num_workers = 1});
+  for (auto _ : state) {
+    rt.launch([&] {
+      hc::finish([&] {
+        for (int i = 0; i < 256; ++i) {
+          hc::async([] { benchmark::DoNotOptimize(0); });
+        }
+      });
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_TaskSpawn);
+
+void BM_DdfPutGet(benchmark::State& state) {
+  for (auto _ : state) {
+    hc::Ddf<int> d;
+    d.put(42);
+    benchmark::DoNotOptimize(d.get());
+  }
+}
+BENCHMARK(BM_DdfPutGet);
+
+void BM_DdtChain(benchmark::State& state) {
+  hc::Runtime rt({.num_workers = 1});
+  const int depth = int(state.range(0));
+  for (auto _ : state) {
+    rt.launch([&] {
+      std::vector<hc::DdfPtr<int>> links;
+      for (int i = 0; i <= depth; ++i) links.push_back(hc::ddf_create<int>());
+      hc::finish([&] {
+        for (int i = 0; i < depth; ++i) {
+          hc::async_await([&, i] { links[i + 1]->put(links[i]->get() + 1); },
+                          links[std::size_t(i)]);
+        }
+        links[0]->put(0);
+      });
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_DdtChain)->Arg(64)->Arg(512);
+
+void BM_DequePushPop(benchmark::State& state) {
+  support::ChaseLevDeque<int*> dq;
+  int x = 0;
+  for (auto _ : state) {
+    dq.push(&x);
+    benchmark::DoNotOptimize(dq.pop());
+  }
+}
+BENCHMARK(BM_DequePushPop);
+
+void BM_MpscPushPop(benchmark::State& state) {
+  support::MpscQueue<int> q;
+  for (auto _ : state) {
+    q.push(1);
+    int v = 0;
+    q.pop(v);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_MpscPushPop);
+
+void BM_PhaserNext(benchmark::State& state) {
+  hc::Phaser ph;
+  auto* reg = ph.register_task(hc::PhaserMode::kSignalWait);
+  for (auto _ : state) {
+    ph.next(reg);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PhaserNext);
+
+void BM_SmpiPingPong(benchmark::State& state) {
+  const std::size_t bytes = std::size_t(state.range(0));
+  for (auto _ : state) {
+    smpi::World::run(2, [&](smpi::Comm& comm) {
+      std::vector<char> buf(bytes ? bytes : 1);
+      for (int i = 0; i < 64; ++i) {
+        if (comm.rank() == 0) {
+          comm.send(buf.data(), bytes, 1, 5);
+          comm.recv(buf.data(), bytes, 1, 6);
+        } else {
+          comm.recv(buf.data(), bytes, 0, 5);
+          comm.send(buf.data(), bytes, 0, 6);
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 2);
+}
+BENCHMARK(BM_SmpiPingPong)->Arg(0)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Shared driver for Fig. 14 (DAVinCI/MVAPICH2) and Fig. 15 (Jaguar/MPICH2):
+// bandwidth, message rate, and latency of multi-threaded MPI vs HCMPI with
+// T ∈ {1, 2, 4, 8} threads and two communicating processes on two nodes.
+#pragma once
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/thread_micro.h"
+
+inline int run_thread_micro(const sim::MachineConfig& m, const char* figure) {
+  benchutil::header(figure,
+                    "ANL multi-threaded MPI suite model: MPI_THREAD_MULTIPLE "
+                    "vs HCMPI (single comm worker). Shape checks: bandwidth "
+                    "~equal; MPI rate/latency degrade with threads, HCMPI "
+                    "stays flat.");
+  const int threads[] = {1, 2, 4, 8};
+
+  benchutil::section("(a) Bandwidth, Gbit/s (N=2, 8 MB messages)");
+  std::printf("%8s %10s %10s\n", "threads", "MPI", "HCMPI");
+  for (int t : threads) {
+    auto r = sim::thread_micro(m, t);
+    std::printf("%8d %10.1f %10.1f\n", t, r.mpi_bandwidth_gbits,
+                r.hcmpi_bandwidth_gbits);
+  }
+
+  benchutil::section("(b) Message rate, million messages/s (empty messages)");
+  std::printf("%8s %10s %10s\n", "threads", "MPI", "HCMPI");
+  for (int t : threads) {
+    auto r = sim::thread_micro(m, t);
+    std::printf("%8d %10.3f %10.3f\n", t, r.mpi_msg_rate_m,
+                r.hcmpi_msg_rate_m);
+  }
+
+  benchutil::section("(c) Latency, microseconds (by payload size)");
+  std::printf("%8s %8s", "threads", "bytes");
+  std::printf(" %10s %10s\n", "MPI", "HCMPI");
+  for (int t : threads) {
+    auto r = sim::thread_micro(m, t);
+    const auto& sizes = sim::latency_sizes();
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      std::printf("%8d %8d %10.2f %10.2f\n", t, sizes[i],
+                  r.mpi_latency_us[i], r.hcmpi_latency_us[i]);
+    }
+  }
+  return 0;
+}

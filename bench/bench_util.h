@@ -1,0 +1,27 @@
+// Shared helpers for the figure/table regeneration binaries. Every binary
+// prints a self-describing header (paper artifact id + what to compare) and
+// plain aligned columns so the output diffs cleanly across runs.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace benchutil {
+
+inline void header(const char* artifact, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", artifact);
+  std::printf("%s\n", description);
+  std::printf("==============================================================\n");
+}
+
+inline void section(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  std::printf("\n-- ");
+  std::vprintf(fmt, ap);
+  std::printf("\n");
+  va_end(ap);
+}
+
+}  // namespace benchutil

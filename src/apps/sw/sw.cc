@@ -1,0 +1,115 @@
+#include "apps/sw/sw.h"
+
+#include <algorithm>
+
+#include "support/rng.h"
+
+namespace sw {
+
+std::string random_seq(std::size_t len, std::uint64_t seed) {
+  static const char kAlphabet[] = {'A', 'C', 'G', 'T'};
+  support::Xoshiro256 rng(seed);
+  std::string s(len, 'A');
+  for (std::size_t i = 0; i < len; ++i) {
+    s[i] = kAlphabet[rng.next_below(4)];
+  }
+  return s;
+}
+
+TileBoundary compute_tile(const Params& p, std::string_view a,
+                          std::string_view b, const std::vector<int>& top,
+                          const std::vector<int>& left, int corner) {
+  const std::size_t h = a.size();
+  const std::size_t w = b.size();
+  TileBoundary out;
+  if (h == 0 || w == 0) {
+    // Degenerate tile: boundaries pass through unchanged.
+    out.bottom = top;
+    out.right = left;
+    out.corner = corner;
+    return out;
+  }
+  out.right.resize(h);
+
+  // Rolling rows: prev = H[i-1][*], cur = H[i][*], with the incoming
+  // boundary supplying H[i-1] for i == 0 and H[*][-1] via left/corner.
+  std::vector<int> prev(top);
+  std::vector<int> cur(w, 0);
+  int best = 0;
+  for (std::size_t i = 0; i < h; ++i) {
+    int diag_left = i == 0 ? corner : left[i - 1];  // H[i-1][-1]
+    int west = left[i];                             // H[i][-1]
+    for (std::size_t j = 0; j < w; ++j) {
+      int sc = a[i] == b[j] ? p.match : p.mismatch;
+      int val = std::max({0, diag_left + sc, prev[j] + p.gap,
+                          west + p.gap});
+      diag_left = prev[j];
+      west = val;
+      cur[j] = val;
+      if (val > best) best = val;
+    }
+    out.right[i] = cur[w - 1];
+    std::swap(prev, cur);
+  }
+  out.bottom = prev;  // after the final swap, prev holds the last row
+  out.corner = h > 0 && w > 0 ? out.bottom[w - 1] : corner;
+  out.best = best;
+  return out;
+}
+
+int best_score_serial(const Params& p, std::string_view a,
+                      std::string_view b) {
+  std::vector<int> prev(b.size(), 0), cur(b.size(), 0);
+  int best = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    int diag = 0, west = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      int sc = a[i] == b[j] ? p.match : p.mismatch;
+      int val = std::max({0, diag + sc, prev[j] + p.gap, west + p.gap});
+      diag = prev[j];
+      west = val;
+      cur[j] = val;
+      if (val > best) best = val;
+    }
+    std::swap(prev, cur);
+  }
+  return best;
+}
+
+int best_score_tiled(const Params& p, std::string_view a, std::string_view b,
+                     std::size_t tile_h, std::size_t tile_w) {
+  const std::size_t th = (a.size() + tile_h - 1) / tile_h;
+  const std::size_t tw = (b.size() + tile_w - 1) / tile_w;
+  // prev_bottoms[c] is tile(r-1, c)'s bottom row while processing row r; the
+  // corner entering tile(r, c) is the last element of tile(r-1, c-1)'s
+  // bottom row, i.e. prev_bottoms[c-1].back() *before* this row overwrites
+  // it — so we update prev_bottoms one column behind.
+  std::vector<std::vector<int>> prev_bottoms(tw);
+  int best = 0;
+  for (std::size_t r = 0; r < th; ++r) {
+    std::vector<int> left_right;  // right column of tile(r, c-1)
+    std::vector<int> pending_bottom;
+    for (std::size_t c = 0; c < tw; ++c) {
+      std::size_t i0 = r * tile_h, i1 = std::min(a.size(), i0 + tile_h);
+      std::size_t j0 = c * tile_w, j1 = std::min(b.size(), j0 + tile_w);
+      std::string_view ta = a.substr(i0, i1 - i0);
+      std::string_view tb = b.substr(j0, j1 - j0);
+      std::vector<int> top =
+          r == 0 ? std::vector<int>(tb.size(), 0) : prev_bottoms[c];
+      std::vector<int> left =
+          c == 0 ? std::vector<int>(ta.size(), 0) : left_right;
+      int corner = (r > 0 && c > 0 && !prev_bottoms[c - 1].empty())
+                       ? prev_bottoms[c - 1].back()
+                       : 0;
+      TileBoundary tile = compute_tile(p, ta, tb, top, left, corner);
+      best = std::max(best, tile.best);
+      if (c > 0) prev_bottoms[c - 1] = std::move(pending_bottom);
+      pending_bottom = std::move(tile.bottom);
+      left_right = std::move(tile.right);
+    }
+    prev_bottoms[tw - 1] = std::move(pending_bottom);
+  }
+  return best;
+}
+
+}  // namespace sw

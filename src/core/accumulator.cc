@@ -1,0 +1,10 @@
+#include "core/accumulator.h"
+
+namespace hc {
+
+// Explicit instantiations for the types the library exposes; keeps template
+// bloat out of client translation units and catches interface breaks here.
+template class Accumulator<std::int64_t>;
+template class Accumulator<double>;
+
+}  // namespace hc

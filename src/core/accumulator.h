@@ -1,0 +1,109 @@
+// Phaser accumulators (paper §II-C; Shirako et al., IPDPS'09): each task
+// arrives at the synchronization point with a value; the values are reduced
+// on the way up the phaser tree, and after the phase boundary every task can
+// read the combined result with accum_get().
+//
+// The HCMPI bridge (hcmpi-accum) plugs in via set_allreduce(): the boundary
+// thread hands the node-local reduction to the communication worker for an
+// inter-node Allreduce and publishes the globally reduced value (paper
+// Fig. 8 / §III-A).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "core/phaser.h"
+
+namespace hc {
+
+enum class ReduceOp { kSum, kProd, kMin, kMax };
+
+template <typename T>
+constexpr T reduce_identity(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum: return T(0);
+    case ReduceOp::kProd: return T(1);
+    case ReduceOp::kMin: return std::numeric_limits<T>::max();
+    case ReduceOp::kMax: return std::numeric_limits<T>::lowest();
+  }
+  return T(0);
+}
+
+template <typename T>
+constexpr T reduce_apply(ReduceOp op, T a, T b) {
+  switch (op) {
+    case ReduceOp::kSum: return a + b;
+    case ReduceOp::kProd: return a * b;
+    case ReduceOp::kMin: return a < b ? a : b;
+    case ReduceOp::kMax: return a > b ? a : b;
+  }
+  return a;
+}
+
+// T must be lock-free-atomic friendly (int32/int64/float/double).
+template <typename T>
+class Accumulator : public Phaser {
+ public:
+  explicit Accumulator(ReduceOp op) : Accumulator(op, Config{}) {}
+
+  Accumulator(ReduceOp op, const Config& cfg) : Phaser(cfg), op_(op) {
+    for (int b = 0; b < 4; ++b) {
+      cell_[b].store(reduce_identity<T>(op_), std::memory_order_relaxed);
+      result_[b].store(reduce_identity<T>(op_), std::memory_order_relaxed);
+    }
+  }
+
+  // Installs the inter-node reduction (hcmpi-accum). Called on the boundary
+  // thread with the node-local value; returns the globally reduced value.
+  void set_allreduce(std::function<T(T, std::uint64_t)> fn) {
+    allreduce_ = std::move(fn);
+  }
+
+  // Arrive with a value: contribute, then perform the phaser next.
+  void accum_next(Registration* reg, T value) {
+    std::uint64_t p = reg->sig_phase;
+    // Respect the bank drift bound *before* touching the cell: the cell for
+    // phase p is recycled for p+4 only after boundary(p+1), and wait_drift
+    // guarantees phase_ >= p-2 here.
+    wait_drift(p);
+    combine(cell_[p % 4], value);
+    next(reg);
+  }
+
+  // The reduced value of the last phase this registration completed. Valid
+  // after the accum_next for that phase returns (paper: "After
+  // synchronization completes, accum_get will return the globally reduced
+  // value").
+  T accum_get(const Registration* reg) const {
+    std::uint64_t completed = reg->sig_phase;  // next() already advanced it
+    if (completed == 0) return reduce_identity<T>(op_);
+    return result_[(completed - 1) % 4].load(std::memory_order_acquire);
+  }
+
+ protected:
+  void boundary_extra(std::uint64_t p) override {
+    // Drain the phase cell (re-arming it for phase p+4) and publish.
+    T local = cell_[p % 4].exchange(reduce_identity<T>(op_),
+                                    std::memory_order_acq_rel);
+    if (allreduce_) local = allreduce_(local, p);
+    result_[p % 4].store(local, std::memory_order_release);
+  }
+
+ private:
+  void combine(std::atomic<T>& cell, T v) {
+    T cur = cell.load(std::memory_order_relaxed);
+    while (!cell.compare_exchange_weak(cur, reduce_apply(op_, cur, v),
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  const ReduceOp op_;
+  std::atomic<T> cell_[4];
+  std::atomic<T> result_[4];
+  std::function<T(T, std::uint64_t)> allreduce_;
+};
+
+}  // namespace hc

@@ -1,0 +1,129 @@
+#include "core/ddf.h"
+
+namespace hc {
+
+DdfBase::~DdfBase() {
+  // Free any waiters that will never fire. Their tasks cannot run (input
+  // destroyed before its put); release their finish scopes so a waiting
+  // finish observes quiescence instead of hanging, and free the memory.
+  WaitNode* n = head_.load(std::memory_order_acquire);
+  if (n == kReady) return;
+  while (n != nullptr) {
+    WaitNode* next = n->next;
+    n->frame->abandon();
+    n->frame->unref();
+    delete n;
+    n = next;
+  }
+}
+
+bool DdfBase::subscribe(WaitNode* node) {
+  WaitNode* h = head_.load(std::memory_order_acquire);
+  do {
+    if (h == kReady) return false;
+    node->next = h;
+  } while (!head_.compare_exchange_weak(h, node, std::memory_order_acq_rel,
+                                        std::memory_order_acquire));
+  return true;
+}
+
+void DdfBase::claim(void* payload) {
+  void* expected = nullptr;
+  if (!value_.compare_exchange_strong(expected, payload,
+                                      std::memory_order_acq_rel)) {
+    throw SingleAssignmentViolation();
+  }
+}
+
+void DdfBase::release_waiters() {
+  WaitNode* list = head_.exchange(kReady, std::memory_order_acq_rel);
+  while (list != nullptr && list != kReady) {
+    WaitNode* next = list->next;
+    AwaitFrame* f = list->frame;
+    if (f->is_or) {
+      f->fire_once();
+    } else {
+      f->advance();
+    }
+    f->unref();
+    delete list;
+    list = next;
+  }
+}
+
+void AwaitFrame::advance() {
+  while (next_dep < deps.size()) {
+    DdfBase* d = deps[next_dep];
+    if (d->satisfied()) {
+      ++next_dep;
+      continue;
+    }
+    auto* node = new DdfBase::WaitNode;
+    node->frame = this;
+    ref();
+    if (d->subscribe(node)) return;  // parked; a put will resume the scan
+    // Lost the race: d was put between the check and the subscribe.
+    unref();
+    delete node;
+    ++next_dep;
+  }
+  // All inputs ready: release the task into the pool.
+  Task* t = task;
+  task = nullptr;
+  rt->schedule(t);
+}
+
+void AwaitFrame::fire_once() {
+  bool expected = false;
+  if (fired.compare_exchange_strong(expected, true,
+                                    std::memory_order_acq_rel)) {
+    Task* t = task;
+    task = nullptr;
+    rt->schedule(t);
+  }
+}
+
+void AwaitFrame::abandon() {
+  bool expected = false;
+  if (is_or) {
+    if (!fired.compare_exchange_strong(expected, true,
+                                       std::memory_order_acq_rel)) {
+      return;  // already ran (or abandoned) via another input
+    }
+  }
+  Task* t = task;
+  task = nullptr;
+  if (t != nullptr) {
+    if (t->finish != nullptr) t->finish->dec();
+    delete t;
+  }
+}
+
+namespace detail {
+void register_await(AwaitFrame* frame) {
+  if (frame->is_or) {
+    if (frame->deps.empty()) {
+      frame->fire_once();
+      frame->unref();
+      return;
+    }
+    // Register on every dep; the token bit arbitrates.
+    for (DdfBase* d : frame->deps) {
+      auto* node = new DdfBase::WaitNode;
+      node->frame = frame;
+      frame->ref();
+      if (!d->subscribe(node)) {
+        frame->unref();
+        delete node;
+        frame->fire_once();
+      }
+    }
+    frame->unref();  // drop the creation reference
+  } else {
+    frame->advance();
+    frame->unref();  // drop the creation reference; advance() took its own
+  }
+}
+}  // namespace detail
+
+}  // namespace hc

@@ -1,0 +1,233 @@
+// Data-Driven Futures (DDFs) and Data-Driven Tasks (DDTs) — paper §II-A and
+// Taşırlar & Sarkar, ICPP'11.
+//
+// A DDF is a dynamic-single-assignment container: exactly one put(); get()
+// before the put is a program error (we throw). Tasks declare dependences
+// with async_await (AND list: runs when *all* DDFs are put) or
+// async_await_any (OR list: runs when *any* is put; a token bit guarantees
+// exactly-once release — paper Fig. 12). HCMPI_Request is a DDF, which is
+// what lets communication completions drive computation tasks.
+//
+// Wait lists are Treiber stacks closed by swapping in a READY sentinel on
+// put, so registration and satisfaction need no locks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <stdexcept>
+#include <vector>
+
+#include "core/api.h"
+#include "core/runtime.h"
+
+namespace hc {
+
+class SingleAssignmentViolation : public std::logic_error {
+ public:
+  SingleAssignmentViolation()
+      : std::logic_error("hc: DDF_PUT on an already-put DDF") {}
+};
+
+class PrematureGet : public std::logic_error {
+ public:
+  PrematureGet() : std::logic_error("hc: DDF_GET before DDF_PUT") {}
+};
+
+class DdfBase {
+ public:
+  DdfBase() = default;
+  DdfBase(const DdfBase&) = delete;
+  DdfBase& operator=(const DdfBase&) = delete;
+  virtual ~DdfBase();
+
+  bool satisfied() const {
+    return head_.load(std::memory_order_acquire) == kReady;
+  }
+
+  // Raw pointer to the stored payload. Only meaningful once satisfied() is
+  // true; between claim and release it points at not-yet-constructed bytes.
+  void* raw_value() const { return value_.load(std::memory_order_acquire); }
+
+  // Internal wait-list node; public so the await machinery (AwaitFrame,
+  // detail::register_await) can allocate them, not part of the user API.
+  struct WaitNode;
+
+  // Attempts to register node; returns false if the DDF is already satisfied
+  // (node not consumed, caller keeps ownership). Internal.
+  bool subscribe(WaitNode* node);
+
+ protected:
+  // Two-phase publication so a racing double put is detected *before* the
+  // payload slot is written: claim() CASes the value pointer (throws on a
+  // second put), the caller then constructs the payload, and
+  // release_waiters() makes it visible and fires DDTs.
+  void claim(void* payload);
+  void release_waiters();
+
+  // claim + release in one step, for payloads constructed beforehand.
+  void publish(void* payload) {
+    claim(payload);
+    release_waiters();
+  }
+
+ private:
+  static constexpr std::uintptr_t kReadyBits = 1;
+  static inline WaitNode* const kReady =
+      reinterpret_cast<WaitNode*>(kReadyBits);
+
+  std::atomic<WaitNode*> head_{nullptr};
+  std::atomic<void*> value_{nullptr};
+};
+
+// One pending DDT: the task plus its dependence list. AND frames register on
+// one unsatisfied DDF at a time and advance on each trigger; OR frames
+// register on all DDFs and race on the token bit.
+struct AwaitFrame {
+  Task* task = nullptr;
+  Runtime* rt = nullptr;
+  std::vector<DdfBase*> deps;
+  std::size_t next_dep = 0;          // AND progression cursor
+  bool is_or = false;
+  std::atomic<bool> fired{false};    // OR token bit (paper Fig. 12)
+  std::atomic<int> refs{1};          // outstanding WaitNodes + in-flight uses
+
+  void ref() { refs.fetch_add(1, std::memory_order_relaxed); }
+  void unref() {
+    if (refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete this;
+  }
+
+  // Advances an AND frame: registers on the next unsatisfied dep or, when
+  // none remain, schedules the task. Called by the creator and by putters.
+  void advance();
+  // Fires an OR frame at most once.
+  void fire_once();
+  // Cancels the frame: the task will never run (owning DDF destroyed first).
+  void abandon();
+};
+
+struct DdfBase::WaitNode {
+  WaitNode* next = nullptr;
+  AwaitFrame* frame = nullptr;
+};
+
+// Typed DDF holding its value inline.
+template <typename T>
+class Ddf : public DdfBase {
+ public:
+  Ddf() = default;
+  ~Ddf() override {
+    if (satisfied()) std::launder(reinterpret_cast<T*>(storage_))->~T();
+  }
+
+  void put(T value) {
+    claim(storage_);  // throws on double put, before storage is touched
+    ::new (static_cast<void*>(storage_)) T(std::move(value));
+    release_waiters();
+  }
+
+  // Non-blocking read; throws PrematureGet if the producer has not put yet
+  // (the paper's "program error").
+  const T& get() const {
+    if (!satisfied()) throw PrematureGet();
+    return *std::launder(reinterpret_cast<const T*>(storage_));
+  }
+
+ private:
+  alignas(T) unsigned char storage_[sizeof(T)];
+};
+
+template <typename T>
+using DdfPtr = std::shared_ptr<Ddf<T>>;
+
+template <typename T>
+DdfPtr<T> ddf_create() {
+  return std::make_shared<Ddf<T>>();
+}
+
+namespace detail {
+void register_await(AwaitFrame* frame);
+}
+
+// Spawns fn as a DDT gated on ALL of deps (the await clause). The task
+// belongs to the current finish scope from the moment of this call, so an
+// enclosing finish waits for it even while its inputs are missing.
+template <typename F>
+void async_await(std::vector<DdfBase*> deps, F&& fn) {
+  Runtime& rt = detail::require_runtime();
+  FinishScope* fs = detail::require_finish();
+  fs->inc();
+  auto* frame = new AwaitFrame;
+  frame->task = new Task(std::forward<F>(fn), fs);
+  frame->rt = &rt;
+  frame->deps = std::move(deps);
+  frame->is_or = false;
+  detail::register_await(frame);
+}
+
+// Spawns fn gated on ANY of deps (waitany / OR list).
+template <typename F>
+void async_await_any(std::vector<DdfBase*> deps, F&& fn) {
+  Runtime& rt = detail::require_runtime();
+  FinishScope* fs = detail::require_finish();
+  fs->inc();
+  auto* frame = new AwaitFrame;
+  frame->task = new Task(std::forward<F>(fn), fs);
+  frame->rt = &rt;
+  frame->deps = std::move(deps);
+  frame->is_or = true;
+  detail::register_await(frame);
+}
+
+// Convenience overloads for shared_ptr handles.
+template <typename F, typename... Ts>
+void async_await(F&& fn, const DdfPtr<Ts>&... dep) {
+  async_await(std::vector<DdfBase*>{dep.get()...}, std::forward<F>(fn));
+}
+
+// Dependence-list builder mirroring the paper's Fig. 12 API:
+//
+//   hc::DdfList ddl(hc::DdfList::Kind::kAnd);   // DDF_LIST_CREATE_AND()
+//   ddl.add(x.get());                           // DDF_LIST_ADD(DDFX, ddl)
+//   ddl.add(y.get());
+//   ddl.async_await([...]{ ... });              // async await (ddl) {...}
+//
+// An AND list releases the task when every DDF is put; an OR list when any
+// one is (exactly once, via the token bit).
+class DdfList {
+ public:
+  enum class Kind { kAnd, kOr };
+
+  explicit DdfList(Kind kind) : kind_(kind) {}
+
+  void add(DdfBase* d) { deps_.push_back(d); }
+  std::size_t size() const { return deps_.size(); }
+  Kind kind() const { return kind_; }
+
+  // Consumes the list (it may be reused by re-adding).
+  template <typename F>
+  void async_await(F&& fn) {
+    if (kind_ == Kind::kAnd) {
+      hc::async_await(deps_, std::forward<F>(fn));
+    } else {
+      hc::async_await_any(deps_, std::forward<F>(fn));
+    }
+  }
+
+ private:
+  Kind kind_;
+  std::vector<DdfBase*> deps_;
+};
+
+// async_future: spawn fn and return a DDF holding its result — the
+// future-flavored composition of async + DDF_PUT.
+template <typename F>
+auto async_future(F&& fn) -> DdfPtr<std::invoke_result_t<F>> {
+  using T = std::invoke_result_t<F>;
+  auto d = ddf_create<T>();
+  async([d, fn = std::forward<F>(fn)]() mutable { d->put(fn()); });
+  return d;
+}
+
+}  // namespace hc

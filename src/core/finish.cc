@@ -1,0 +1,36 @@
+#include "core/runtime.h"
+#include "core/task.h"
+#include "support/spin.h"
+
+namespace hc {
+
+void FinishScope::wait_and_rethrow() {
+  dec();  // drop the owner token
+  Worker* w = Runtime::current_worker();
+  if (w != nullptr && w->is_computation() &&
+      Runtime::current_runtime() == &rt_) {
+    // Help-first wait: execute other tasks until this scope drains. Tasks we
+    // help with may belong to unrelated scopes; run_task saves/restores the
+    // thread-local finish pointer so nesting stays correct.
+    support::Backoff backoff;
+    while (!done()) {
+      if (Task* t = w->try_get_task()) {
+        w->execute(t);
+        backoff.reset();
+      } else {
+        backoff.pause();
+      }
+    }
+  } else {
+    // External (or foreign-runtime) thread: block on the counter.
+    std::int64_t c;
+    while ((c = count_.load(std::memory_order_acquire)) != 0) {
+      count_.wait(c, std::memory_order_acquire);
+    }
+  }
+  if (has_exception_.load(std::memory_order_acquire) && exception_) {
+    std::rethrow_exception(exception_);
+  }
+}
+
+}  // namespace hc

@@ -1,0 +1,198 @@
+#include "core/phaser.h"
+
+#include <cassert>
+
+namespace hc {
+
+Phaser::Phaser(const Config& cfg) {
+  int leaf_width = cfg.leaf_width > 0 ? cfg.leaf_width : 8;
+  int radix = cfg.radix > 1 ? cfg.radix : 2;
+  int leaves = (cfg.capacity_hint + leaf_width - 1) / leaf_width;
+  if (leaves < 1) leaves = 1;
+
+  // Build the tree top-down: root, then layers of `radix` children until at
+  // least `leaves` leaves exist.
+  nodes_.push_back(std::make_unique<Node>());
+  std::vector<Node*> frontier{nodes_.front().get()};
+  while (int(frontier.size()) < leaves) {
+    std::vector<Node*> next;
+    next.reserve(frontier.size() * std::size_t(radix));
+    for (Node* p : frontier) {
+      for (int c = 0; c < radix; ++c) {
+        nodes_.push_back(std::make_unique<Node>());
+        nodes_.back()->parent = p;
+        next.push_back(nodes_.back().get());
+      }
+      if (int(next.size()) >= leaves) break;
+    }
+    frontier = std::move(next);
+  }
+  leaves_ = frontier;
+}
+
+Phaser::~Phaser() = default;
+
+int Phaser::registered_signalers() const {
+  // Root members is the effective signaller presence; for reporting we keep
+  // the exact count.
+  return const_cast<Phaser*>(this)->signaler_count_;
+}
+
+Phaser::Registration* Phaser::register_task(PhaserMode mode,
+                                            const Registration* registrar) {
+  std::lock_guard<std::mutex> lk(reg_mu_);
+  auto reg = std::make_unique<Registration>();
+  reg->mode = mode;
+  reg->leaf_index = next_leaf_;
+  next_leaf_ = (next_leaf_ + 1) % int(leaves_.size());
+  std::uint64_t v = phase_.load(std::memory_order_acquire);
+  // Join at the registrar's pending phase: a drifted SIGNAL_ONLY registrar
+  // may be up to two phases ahead of phase_, and the child must participate
+  // from the first phase the registrar has not yet signalled.
+  std::uint64_t s = registrar != nullptr ? registrar->sig_phase : v;
+  reg->sig_phase = s;
+  Registration* out = reg.get();
+  regs_.push_back(std::move(reg));
+
+  if (mode != PhaserMode::kWaitOnly) {
+    ++signaler_count_;
+    Node* leaf = leaves_[std::size_t(out->leaf_index)];
+    // Membership walk: stop at the first node that already counted this
+    // subtree (post-increment reads the old value).
+    for (Node* n = leaf; n != nullptr; n = n->parent) {
+      if (n->members++ > 0) break;
+    }
+    // Arm the *materialized* banks among phases s..s+2. A bank for phase q
+    // is live once boundary(q-3) re-armed it, i.e. when phase_ >= q-2;
+    // not-yet-materialized banks get re-armed from `members` (which now
+    // includes us) at their boundary, under this same mutex.
+    for (std::uint64_t q = s; q < s + 3; ++q) {
+      if (q <= v + 2) cascade_expect(int(q % kBanks), leaf);
+    }
+  }
+  return out;
+}
+
+void Phaser::cascade_expect(int bank, Node* leaf) {
+  // fetch_add walking up: an old value of 0 means this node had either
+  // already signalled its parent for the bank or was never counted there —
+  // both cases require extending the expectation one level up (DESIGN.md §5).
+  for (Node* n = leaf; n != nullptr; n = n->parent) {
+    std::int64_t old = n->remaining[bank].fetch_add(1, std::memory_order_acq_rel);
+    if (old != 0) break;
+  }
+}
+
+void Phaser::cascade_signal(int bank, Node* leaf, std::uint64_t phase) {
+  Node* n = leaf;
+  while (n != nullptr) {
+    std::int64_t now = n->remaining[bank].fetch_sub(1, std::memory_order_acq_rel) - 1;
+    assert(now >= 0 && "phaser: more signals than registered");
+    if (now > 0) return;
+    n = n->parent;
+  }
+  boundary(phase);
+}
+
+void Phaser::wait_drift(std::uint64_t phase) {
+  // Signalling phase P requires phase_ >= P - 2 (bank recycling bound).
+  if (phase < 2) return;
+  std::uint64_t v;
+  while ((v = phase_.load(std::memory_order_acquire)) + 2 < phase) {
+    phase_.wait(v, std::memory_order_acquire);
+  }
+}
+
+void Phaser::wait_phase_above(std::uint64_t phase) {
+  std::uint64_t v;
+  while ((v = phase_.load(std::memory_order_acquire)) <= phase) {
+    phase_.wait(v, std::memory_order_acquire);
+  }
+}
+
+void Phaser::next(Registration* reg) {
+  assert(reg != nullptr && !reg->dropped);
+  std::uint64_t p = reg->sig_phase;
+  if (reg->mode != PhaserMode::kWaitOnly) {
+    wait_drift(p);
+    int bank = int(p % kBanks);
+    if (hook_ != nullptr && fuzzy_ &&
+        !early_started_[bank].exchange(true, std::memory_order_acq_rel)) {
+      // First arrival of this phase anywhere in the tree: overlap the
+      // inter-node barrier with the remaining intra-node signals.
+      hook_->early_start(p);
+    }
+    cascade_signal(bank, leaves_[std::size_t(reg->leaf_index)], p);
+  }
+  reg->sig_phase = p + 1;
+  if (reg->mode != PhaserMode::kSignalOnly) {
+    wait_phase_above(p);
+  }
+}
+
+void Phaser::boundary(std::uint64_t p) {
+  // Boundaries must complete in phase order; a fast signal-only task can
+  // complete the root count for phase p+1 while p's boundary is running.
+  std::uint64_t v;
+  while ((v = phase_.load(std::memory_order_acquire)) != p) {
+    assert(v < p);
+    phase_.wait(v, std::memory_order_acquire);
+  }
+
+  int bank = int(p % kBanks);
+  if (hook_ != nullptr) {
+    if (fuzzy_) {
+      if (!early_started_[bank].exchange(true, std::memory_order_acq_rel)) {
+        hook_->early_start(p);  // nobody signalled (e.g. pure-drop phase)
+      }
+    }
+    hook_->at_boundary(p);
+  }
+  boundary_extra(p);
+
+  {
+    std::lock_guard<std::mutex> lk(reg_mu_);
+    // Re-arm bank p+3 from subtree membership. Signals for phase p+3 cannot
+    // arrive before phase_ reaches p+1 (drift bound), i.e. not before the
+    // store below.
+    int rearm = int((p + 3) % kBanks);
+    for (auto& n : nodes_) {
+      // Leaf: number of registered signallers. Internal: number of active
+      // child subtrees — both are exactly `members` under the cascade
+      // membership walk.
+      n->remaining[rearm].store(n->members, std::memory_order_relaxed);
+    }
+    early_started_[rearm].store(false, std::memory_order_relaxed);
+    // Advance the phase while still holding reg_mu_, so registration and
+    // drop observe bank materialization and phase_ consistently.
+    phase_.store(p + 1, std::memory_order_release);
+  }
+  phase_.notify_all();
+}
+
+void Phaser::drop(Registration* reg) {
+  assert(reg != nullptr && !reg->dropped);
+  if (reg->mode != PhaserMode::kWaitOnly) {
+    Node* leaf = leaves_[std::size_t(reg->leaf_index)];
+    std::uint64_t p = reg->sig_phase;
+    std::uint64_t owed_until;  // exclusive bound of materialized banks we owe
+    {
+      std::lock_guard<std::mutex> lk(reg_mu_);
+      --signaler_count_;
+      for (Node* n = leaf; n != nullptr; n = n->parent) {
+        if (--n->members > 0) break;
+      }
+      // Banks for phases q <= phase_+2 are materialized and count us; later
+      // banks will be re-armed (under this mutex) from the decremented
+      // membership and must NOT be signalled.
+      std::uint64_t v = phase_.load(std::memory_order_acquire);
+      owed_until = std::min(p + 3, v + 3);
+    }
+    for (std::uint64_t q = p; q < owed_until; ++q) {
+      cascade_signal(int(q % kBanks), leaf, q);
+    }
+  }
+  reg->dropped = true;
+}
+
+}  // namespace hc

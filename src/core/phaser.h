@@ -1,0 +1,129 @@
+// Phasers (paper §II-A, §III-A; Shirako et al. ICS'08): unified collective
+// and point-to-point synchronization for dynamically created tasks, with
+// SIGNAL_WAIT / SIGNAL_ONLY / WAIT_ONLY registration modes, dynamic
+// registration and drop, and guaranteed deadlock freedom under the X10-style
+// registration rule (only a registered signaler that has not yet signalled
+// its current phase may register new tasks).
+//
+// Implementation: a radix-R tree of per-phase arrival counters ("tree based
+// phasers have been shown to scale much better than flat phasers"). Counters
+// are banked four phases deep so SIGNAL_ONLY tasks may run ahead of the
+// slowest waiter by up to two phases without locking; bank (P+3) is
+// re-armed at the boundary of phase P, and the drift bound guarantees no
+// signal for phase P+3 can arrive before that.
+//
+// The inter-node integration point (hcmpi-phaser, paper Fig. 13) is a hook:
+//   * strict  — the boundary thread runs the inter-node barrier after all
+//               local signals arrive and before waiters are released;
+//   * fuzzy   — the first local signal of a phase starts the inter-node
+//               barrier early (overlapped), and the boundary joins it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace hc {
+
+enum class PhaserMode { kSignalWait, kSignalOnly, kWaitOnly };
+
+class PhaserHook {
+ public:
+  virtual ~PhaserHook() = default;
+  // Fuzzy mode only: fired once per phase by the first arriving signal.
+  virtual void early_start(std::uint64_t phase) { (void)phase; }
+  // Fired at the root boundary before waiters are released. Strict mode runs
+  // the whole inter-node operation here; fuzzy mode joins the early start.
+  virtual void at_boundary(std::uint64_t phase) { (void)phase; }
+};
+
+class Phaser {
+ public:
+  struct Registration {
+    PhaserMode mode;
+    int leaf_index;
+    std::uint64_t sig_phase;  // next phase this registration will signal/wait
+    bool dropped = false;
+  };
+
+  struct Config {
+    int leaf_width = 8;       // registrations per leaf before spilling over
+    int radix = 4;            // tree fanout
+    int capacity_hint = 64;   // expected registration count (shapes the tree)
+  };
+
+  Phaser() : Phaser(Config{}) {}
+  explicit Phaser(const Config& cfg);
+  virtual ~Phaser();
+
+  Phaser(const Phaser&) = delete;
+  Phaser& operator=(const Phaser&) = delete;
+
+  // Registers a task. `registrar` is the registration of the task performing
+  // the registration (the parent spawning a phased child); pass nullptr only
+  // before the phaser's first next. The child joins at the registrar's
+  // current (not-yet-signalled) phase, which is what makes mid-phase
+  // registration deadlock-free (X10 clock rule).
+  Registration* register_task(PhaserMode mode,
+                              const Registration* registrar = nullptr);
+
+  // Deregisters: outstanding phase obligations are signalled on the way out
+  // so no waiter can deadlock on a departed task.
+  void drop(Registration* reg);
+
+  // The next statement: signal (per mode), then wait (per mode).
+  void next(Registration* reg);
+
+  std::uint64_t phase() const {
+    return phase_.load(std::memory_order_acquire);
+  }
+
+  // Installs the inter-node hook (not owned). Must be set before first next.
+  void set_hook(PhaserHook* hook, bool fuzzy) {
+    hook_ = hook;
+    fuzzy_ = fuzzy;
+  }
+
+  int registered_signalers() const;
+
+ protected:
+  // Accumulators override this to fold their per-phase cell (runs on the
+  // boundary thread, before the bank reset and the phase advance).
+  virtual void boundary_extra(std::uint64_t phase) { (void)phase; }
+
+  // Blocks until signalling `phase` respects the drift bound (phase_ >=
+  // phase - 2). Exposed to Accumulator so contributions obey it too.
+  void wait_drift(std::uint64_t phase);
+
+ private:
+  static constexpr int kBanks = 4;
+
+  struct Node {
+    Node* parent = nullptr;
+    std::atomic<std::int64_t> remaining[kBanks] = {};
+    // Members with signal capability in this subtree; guarded by reg_mu_.
+    std::int64_t members = 0;
+  };
+
+  void cascade_signal(int bank, Node* leaf, std::uint64_t phase);
+  void cascade_expect(int bank, Node* leaf);
+  void boundary(std::uint64_t phase);
+  void wait_phase_above(std::uint64_t phase);
+
+  std::vector<std::unique_ptr<Node>> nodes_;  // nodes_[0] is the root
+  std::vector<Node*> leaves_;
+  std::atomic<std::uint64_t> phase_{0};
+  std::atomic<bool> early_started_[kBanks] = {};
+
+  std::mutex reg_mu_;
+  std::vector<std::unique_ptr<Registration>> regs_;
+  int next_leaf_ = 0;
+  int signaler_count_ = 0;  // guarded by reg_mu_
+
+  PhaserHook* hook_ = nullptr;
+  bool fuzzy_ = false;
+};
+
+}  // namespace hc

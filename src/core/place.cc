@@ -1,0 +1,40 @@
+#include "core/place.h"
+
+namespace hc {
+
+PlaceTree::PlaceTree(int depth, int fanout) {
+  if (fanout < 1) fanout = 1;
+  nodes_.push_back(std::make_unique<Place>(0, nullptr, 0));
+  std::vector<Place*> frontier{nodes_.front().get()};
+  for (int d = 1; d <= depth; ++d) {
+    std::vector<Place*> next;
+    for (Place* parent : frontier) {
+      for (int c = 0; c < fanout; ++c) {
+        nodes_.push_back(
+            std::make_unique<Place>(int(nodes_.size()), parent, d));
+        Place* child = nodes_.back().get();
+        parent->children_.push_back(child);
+        next.push_back(child);
+      }
+    }
+    frontier = std::move(next);
+  }
+  leaves_ = frontier;
+}
+
+void PlaceTree::assign_workers(int num_workers) {
+  worker_leaf_.resize(std::size_t(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    worker_leaf_[std::size_t(i)] = leaves_[std::size_t(i) % leaves_.size()];
+  }
+}
+
+Place* PlaceTree::leaf_for_worker(int worker_id) const {
+  if (worker_id < 0 || std::size_t(worker_id) >= worker_leaf_.size()) {
+    // Producer slots have no leaf; they scan from the root.
+    return leaves_.empty() ? nullptr : leaves_.front();
+  }
+  return worker_leaf_[std::size_t(worker_id)];
+}
+
+}  // namespace hc

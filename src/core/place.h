@@ -1,0 +1,77 @@
+// Hierarchical Place Trees (HPT, paper §II-A / Yan et al. LCPC'09).
+//
+// Places model the machine's locality hierarchy (cores, shared caches,
+// sockets, devices). Tasks may be spawned *at* a place; workers drain their
+// leaf-to-root path before stealing, which biases execution toward tasks
+// whose data is near. A depth-0 tree (the paper's experimental default) is a
+// single root place.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/task.h"
+
+namespace hc {
+
+class Place {
+ public:
+  Place(int id, Place* parent, int depth)
+      : id_(id), parent_(parent), depth_(depth) {}
+
+  int id() const { return id_; }
+  Place* parent() const { return parent_; }
+  int depth() const { return depth_; }
+  const std::vector<Place*>& children() const { return children_; }
+  bool is_leaf() const { return children_.empty(); }
+
+  void push(Task* t) {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(t);
+  }
+
+  Task* try_pop() {
+    // Cheap unlocked emptiness probe keeps the hot scheduling path from
+    // hammering a contended lock; a stale read only delays pickup.
+    if (queue_.empty()) return nullptr;
+    std::lock_guard<std::mutex> lk(mu_);
+    if (queue_.empty()) return nullptr;
+    Task* t = queue_.front();
+    queue_.pop_front();
+    return t;
+  }
+
+ private:
+  friend class PlaceTree;
+  const int id_;
+  Place* const parent_;
+  const int depth_;
+  std::vector<Place*> children_;
+  std::mutex mu_;
+  std::deque<Task*> queue_;
+};
+
+class PlaceTree {
+ public:
+  // Builds a complete tree with `depth` levels below the root, each internal
+  // node having `fanout` children. depth == 0 → a lone root place.
+  PlaceTree(int depth, int fanout);
+
+  Place* root() { return nodes_.front().get(); }
+  Place* node(int id) { return nodes_[std::size_t(id)].get(); }
+  int size() const { return int(nodes_.size()); }
+  const std::vector<Place*>& leaves() const { return leaves_; }
+
+  // Distributes workers round-robin across leaves.
+  void assign_workers(int num_workers);
+  Place* leaf_for_worker(int worker_id) const;
+
+ private:
+  std::vector<std::unique_ptr<Place>> nodes_;
+  std::vector<Place*> leaves_;
+  std::vector<Place*> worker_leaf_;
+};
+
+}  // namespace hc

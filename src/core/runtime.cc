@@ -1,0 +1,133 @@
+#include "core/runtime.h"
+
+#include <cassert>
+#include <chrono>
+#include <stdexcept>
+
+#include "core/place.h"
+
+namespace hc {
+
+namespace {
+thread_local Worker* tl_worker = nullptr;
+thread_local FinishScope* tl_finish = nullptr;
+thread_local Runtime* tl_runtime = nullptr;
+}  // namespace
+
+void bind_worker_thread(Runtime* rt, Worker* w) {
+  tl_worker = w;
+  tl_runtime = rt;
+}
+
+Worker* Runtime::current_worker() { return tl_worker; }
+FinishScope* Runtime::current_finish() { return tl_finish; }
+void Runtime::set_current_finish(FinishScope* fs) { tl_finish = fs; }
+Runtime* Runtime::current_runtime() { return tl_runtime; }
+
+Runtime::Runtime(const RuntimeConfig& cfg) {
+  assert(cfg.num_workers >= 1);
+  places_ = std::make_unique<PlaceTree>(cfg.place_depth, cfg.place_fanout);
+  workers_.reserve(std::size_t(cfg.num_workers));
+  for (int i = 0; i < cfg.num_workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>(*this, i, /*has_thread=*/true));
+  }
+  places_->assign_workers(cfg.num_workers);
+  producer_storage_.reserve(kMaxProducers);
+  for (auto& w : workers_) w->start();
+}
+
+Runtime::~Runtime() {
+  stopping_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(idle_mu_);
+    idle_cv_.notify_all();
+  }
+  for (auto& w : workers_) w->join();
+  // Drain anything never executed (only possible after an exceptional exit).
+  Task* t = nullptr;
+  while ((t = pop_injected()) != nullptr) delete t;
+}
+
+void Runtime::launch(std::function<void()> root) {
+  FinishScope scope(*this, nullptr);
+  scope.inc();
+  Task* t = new Task(std::move(root), &scope);
+  inject(t);
+  Runtime* prev_rt = tl_runtime;
+  tl_runtime = this;
+  scope.wait_and_rethrow();
+  tl_runtime = prev_rt;
+}
+
+Worker* Runtime::register_producer() {
+  std::lock_guard<std::mutex> lk(producer_mu_);
+  int n = producer_count_.load(std::memory_order_relaxed);
+  if (n >= kMaxProducers) throw std::runtime_error("hc: producer slots exhausted");
+  producer_storage_.push_back(
+      std::make_unique<Worker>(*this, num_workers() + n, /*has_thread=*/false));
+  Worker* w = producer_storage_.back().get();
+  producers_[std::size_t(n)].store(w, std::memory_order_release);
+  producer_count_.store(n + 1, std::memory_order_release);
+  tl_worker = w;
+  tl_runtime = this;
+  return w;
+}
+
+void Runtime::schedule(Task* t) {
+  Worker* w = tl_worker;
+  // A worker belonging to a *different* runtime (nested rank layouts) must
+  // not push onto a foreign deque: fall back to injection.
+  if (w != nullptr && tl_runtime == this) {
+    w->push(t);
+    notify_work();
+  } else {
+    inject(t);
+  }
+}
+
+void Runtime::inject(Task* t) {
+  {
+    std::lock_guard<std::mutex> lk(inject_mu_);
+    injected_.push_back(t);
+  }
+  notify_work();
+}
+
+Task* Runtime::pop_injected() {
+  std::lock_guard<std::mutex> lk(inject_mu_);
+  if (injected_.empty()) return nullptr;
+  Task* t = injected_.front();
+  injected_.pop_front();
+  return t;
+}
+
+void Runtime::notify_work() {
+  if (idle_count_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> lk(idle_mu_);
+    idle_cv_.notify_one();
+  }
+}
+
+void Runtime::idle_wait() {
+  std::unique_lock<std::mutex> lk(idle_mu_);
+  idle_count_.fetch_add(1, std::memory_order_acq_rel);
+  // Bounded wait: a missed notify costs at most 1 ms, and the single-core CI
+  // host depends on parked (not spinning) idle workers.
+  idle_cv_.wait_for(lk, std::chrono::milliseconds(1));
+  idle_count_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+std::uint64_t Runtime::total_tasks_executed() const {
+  std::uint64_t n = 0;
+  for (const auto& w : workers_) n += w->tasks_executed();
+  for (const auto& w : producer_storage_) n += w->tasks_executed();
+  return n;
+}
+
+std::uint64_t Runtime::total_steals() const {
+  std::uint64_t n = 0;
+  for (const auto& w : workers_) n += w->steals();
+  return n;
+}
+
+}  // namespace hc

@@ -1,0 +1,80 @@
+// Task and FinishScope: the two primitive objects of the Habanero-C style
+// async/finish model (paper §II-A).
+//
+// A Task is a heap-allocated closure plus the finish scope it reports to and
+// an optional place affinity. A FinishScope counts outstanding descendants;
+// `finish { ... }` waits for its scope to drain. The waiting worker *helps*
+// (executes other tasks) instead of blocking, which is how the paper's
+// "continuation" semantics map onto C++ without stackful coroutines (see
+// DESIGN.md §5).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+
+namespace hc {
+
+class Runtime;
+class Place;
+class FinishScope;
+
+struct Task {
+  std::function<void()> fn;
+  FinishScope* finish = nullptr;
+  Place* place = nullptr;
+
+  Task() = default;
+  Task(std::function<void()> f, FinishScope* fs, Place* p = nullptr)
+      : fn(std::move(f)), finish(fs), place(p) {}
+};
+
+class FinishScope {
+ public:
+  explicit FinishScope(Runtime& rt, FinishScope* parent = nullptr)
+      : rt_(rt), parent_(parent) {}
+
+  FinishScope(const FinishScope&) = delete;
+  FinishScope& operator=(const FinishScope&) = delete;
+
+  // Registers one more task governed by this scope.
+  void inc() { count_.fetch_add(1, std::memory_order_relaxed); }
+
+  // A governed task finished. Wakes external waiters when the scope drains.
+  void dec() {
+    if (count_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      count_.notify_all();
+    }
+  }
+
+  bool done() const { return count_.load(std::memory_order_acquire) == 0; }
+
+  // Drops the owner token (the +1 the scope is constructed with via begin()),
+  // then waits for the scope to drain. Worker threads help-execute other
+  // tasks while waiting; external threads block on the counter. Rethrows the
+  // first exception captured from any governed task.
+  void wait_and_rethrow();
+
+  // Records the first exception thrown by a governed task.
+  void capture_exception(std::exception_ptr e) {
+    bool expected = false;
+    if (has_exception_.compare_exchange_strong(expected, true,
+                                               std::memory_order_acq_rel)) {
+      exception_ = std::move(e);
+    }
+  }
+
+  FinishScope* parent() const { return parent_; }
+  Runtime& runtime() const { return rt_; }
+
+ private:
+  Runtime& rt_;
+  FinishScope* parent_;
+  // Starts at 1: the owner token, dropped on entry to wait_and_rethrow().
+  std::atomic<std::int64_t> count_{1};
+  std::atomic<bool> has_exception_{false};
+  std::exception_ptr exception_;
+};
+
+}  // namespace hc

@@ -1,0 +1,92 @@
+#include "core/worker.h"
+
+#include "core/place.h"
+#include "core/runtime.h"
+#include "support/spin.h"
+
+namespace hc {
+
+// Defined in runtime.cc next to the thread_locals it sets.
+void bind_worker_thread(Runtime* rt, Worker* w);
+
+Worker::Worker(Runtime& rt, int id, bool has_thread)
+    : rt_(rt), id_(id), has_thread_(has_thread),
+      rng_(0xC0FFEEull * std::uint64_t(id + 1) + 0x9E3779B9ull) {}
+
+Worker::~Worker() = default;
+
+void Worker::start() {
+  if (!has_thread_) return;
+  thread_ = std::jthread([this](std::stop_token st) { main_loop(st); });
+}
+
+void Worker::join() {
+  if (thread_.joinable()) {
+    thread_.request_stop();
+    thread_.join();
+  }
+}
+
+void Worker::push(Task* t) { deque_.push(t); }
+
+Task* Worker::try_get_task() {
+  // 1. Own deque (LIFO end: locality, as in the paper's runtime).
+  if (auto t = deque_.pop()) return *t;
+
+  // 2. Place queues along this worker's leaf-to-root path (HPT heuristics;
+  //    a depth-0 tree makes this a single root-queue check).
+  if (Place* leaf = rt_.places()->leaf_for_worker(id_)) {
+    for (Place* p = leaf; p != nullptr; p = p->parent()) {
+      if (Task* t = p->try_pop()) return t;
+    }
+  }
+
+  // 3. Injection queue (external submissions).
+  if (Task* t = rt_.pop_injected()) return t;
+
+  // 4. Steal from a random victim; one full scan per call.
+  int slots = rt_.total_slots();
+  if (slots > 1) {
+    int start = int(rng_.next_below(std::uint64_t(slots)));
+    for (int k = 0; k < slots; ++k) {
+      int v = (start + k) % slots;
+      if (v == id_) continue;
+      Worker* victim = rt_.slot(v);
+      if (victim == nullptr) continue;
+      if (Task* t = victim->steal()) {
+        ++steals_;
+        return t;
+      }
+    }
+  }
+  ++failed_steal_rounds_;
+  return nullptr;
+}
+
+void Worker::run_task(Task* t) {
+  FinishScope* prev = Runtime::current_finish();
+  Runtime::set_current_finish(t->finish);
+  try {
+    t->fn();
+  } catch (...) {
+    if (t->finish != nullptr) {
+      t->finish->capture_exception(std::current_exception());
+    }
+  }
+  Runtime::set_current_finish(prev);
+  if (t->finish != nullptr) t->finish->dec();
+  delete t;
+}
+
+void Worker::main_loop(std::stop_token st) {
+  bind_worker_thread(&rt_, this);
+  while (!st.stop_requested() && !rt_.stopping()) {
+    if (Task* t = try_get_task()) {
+      execute(t);
+    } else {
+      rt_.idle_wait();
+    }
+  }
+}
+
+}  // namespace hc

@@ -1,0 +1,78 @@
+// A computation worker: one OS thread plus a Chase–Lev deque of tasks.
+//
+// Producer-only workers (no thread) exist so non-computation threads — most
+// importantly the HCMPI communication worker — can push released tasks into
+// the work-stealing pool exactly as in the paper's Fig. 10 ("the
+// communication worker pushes the continuation ... onto its deque to be
+// stolen by computation workers").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "core/task.h"
+#include "support/chase_lev_deque.h"
+#include "support/rng.h"
+
+namespace hc {
+
+class Runtime;
+
+class Worker {
+ public:
+  Worker(Runtime& rt, int id, bool has_thread);
+  ~Worker();
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  void start();  // spawns the OS thread (computation workers only)
+  void join();
+
+  int id() const { return id_; }
+  bool is_computation() const { return has_thread_; }
+
+  // Owner (or registered producer) push.
+  void push(Task* t);
+
+  // Steal attempt from another worker's perspective.
+  Task* steal() { return deque_.steal().value_or(nullptr); }
+
+  // Pop + place-queue + injection + steal scan. Returns nullptr when no work
+  // was found anywhere.
+  Task* try_get_task();
+
+  // Executes a task with the thread-local finish scope set, routing
+  // exceptions to the task's scope, and retires the task.
+  static void run_task(Task* t);
+
+  // run_task + this worker's execution counter; the form used by the main
+  // loop and by help-first waiting.
+  void execute(Task* t) {
+    ++tasks_executed_;
+    run_task(t);
+  }
+
+  // Per-worker counters, exposed for tests and the ablation bench.
+  std::uint64_t tasks_executed() const { return tasks_executed_; }
+  std::uint64_t steals() const { return steals_; }
+  std::uint64_t failed_steal_rounds() const { return failed_steal_rounds_; }
+
+ private:
+  friend class Runtime;
+  void main_loop(std::stop_token st);
+
+  Runtime& rt_;
+  const int id_;
+  const bool has_thread_;
+  support::ChaseLevDeque<Task*> deque_;
+  support::Xoshiro256 rng_;
+  std::jthread thread_;
+
+  std::uint64_t tasks_executed_ = 0;
+  std::uint64_t steals_ = 0;
+  std::uint64_t failed_steal_rounds_ = 0;
+};
+
+}  // namespace hc

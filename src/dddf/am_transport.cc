@@ -1,0 +1,98 @@
+#include "dddf/am_transport.h"
+
+#include "support/spin.h"
+
+namespace dddf {
+
+AmBus::AmBus(int nranks) {
+  mailboxes_.reserve(std::size_t(nranks));
+  for (int i = 0; i < nranks; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+AmTransport::AmTransport(std::shared_ptr<AmBus> bus, int rank)
+    : Transport(rank, bus->size()), bus_(std::move(bus)) {
+  progress_ = std::jthread([this](std::stop_token st) { progress_loop(st); });
+}
+
+AmTransport::~AmTransport() {
+  AmBus::Msg stop;
+  stop.kind = AmBus::Msg::Kind::kStop;
+  deliver(rank(), std::move(stop));
+  if (progress_.joinable()) progress_.join();
+}
+
+void AmTransport::deliver(int to, AmBus::Msg msg) {
+  bus_->mailboxes_[std::size_t(to)]->queue.push(std::move(msg));
+}
+
+void AmTransport::send_register(Guid guid, int home) {
+  AmBus::Msg m;
+  m.kind = AmBus::Msg::Kind::kRegister;
+  m.guid = guid;
+  m.a = rank();
+  deliver(home, std::move(m));
+}
+
+void AmTransport::send_data(Guid guid, int to, Bytes payload) {
+  AmBus::Msg m;
+  m.kind = AmBus::Msg::Kind::kData;
+  m.guid = guid;
+  m.payload = std::move(payload);
+  deliver(to, std::move(m));
+  data_sent_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void AmTransport::post(std::function<void()> fn) {
+  AmBus::Msg m;
+  m.kind = AmBus::Msg::Kind::kPost;
+  m.fn = std::move(fn);
+  deliver(rank(), std::move(m));
+}
+
+void AmTransport::progress_loop(std::stop_token) {
+  auto& mailbox = *bus_->mailboxes_[std::size_t(rank())];
+  support::Backoff backoff;
+  for (;;) {
+    AmBus::Msg msg;
+    if (!mailbox.queue.pop(msg)) {
+      backoff.pause();
+      continue;
+    }
+    backoff.reset();
+    switch (msg.kind) {
+      case AmBus::Msg::Kind::kRegister:
+        on_register_(msg.guid, msg.a);
+        break;
+      case AmBus::Msg::Kind::kData:
+        on_data_(msg.guid, std::move(msg.payload));
+        break;
+      case AmBus::Msg::Kind::kPost:
+        msg.fn();
+        break;
+      case AmBus::Msg::Kind::kStop:
+        return;
+    }
+  }
+}
+
+void AmTransport::finalize_barrier() {
+  // Sense-reversing barrier between *computation* threads; the progress
+  // threads are untouched and keep serving stragglers throughout.
+  std::uint64_t gen = bus_->barrier_generation_.load(std::memory_order_acquire);
+  if (bus_->barrier_arrived_.fetch_add(1, std::memory_order_acq_rel) ==
+      size() - 1) {
+    bus_->barrier_arrived_.store(0, std::memory_order_relaxed);
+    bus_->barrier_generation_.fetch_add(1, std::memory_order_acq_rel);
+    bus_->barrier_generation_.notify_all();
+  } else {
+    std::uint64_t v;
+    while ((v = bus_->barrier_generation_.load(std::memory_order_acquire)) ==
+           gen) {
+      bus_->barrier_generation_.wait(v, std::memory_order_acquire);
+    }
+  }
+}
+
+}  // namespace dddf

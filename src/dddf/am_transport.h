@@ -1,0 +1,73 @@
+// GASNet-flavored active-message transport for the DDDF space: a bus with
+// one mailbox per rank and a dedicated progress thread per rank that invokes
+// the protocol handlers. No MPI anywhere — this backend exists to prove the
+// APGNS claim that the model "can be implemented atop a wide range of
+// communication runtimes" (paper §I).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "dddf/transport.h"
+#include "support/mpsc_queue.h"
+
+namespace dddf {
+
+// Shared bus: create one per logical job, hand it to every rank's
+// AmTransport. Ranks may live on any threads of the process.
+class AmBus {
+ public:
+  explicit AmBus(int nranks);
+
+  int size() const { return int(mailboxes_.size()); }
+
+ private:
+  friend class AmTransport;
+
+  struct Msg {
+    enum class Kind : std::uint8_t { kRegister, kData, kPost, kStop };
+    Kind kind = Kind::kPost;
+    Guid guid = 0;
+    int a = 0;  // requester (kRegister)
+    Bytes payload;
+    std::function<void()> fn;  // kPost
+  };
+
+  struct Mailbox {
+    support::MpscQueue<Msg> queue;
+  };
+
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  // Sense-reversing termination barrier; progress threads keep serving
+  // while computation threads wait here.
+  std::atomic<int> barrier_arrived_{0};
+  std::atomic<std::uint64_t> barrier_generation_{0};
+};
+
+class AmTransport : public Transport {
+ public:
+  AmTransport(std::shared_ptr<AmBus> bus, int rank);
+  ~AmTransport() override;
+
+  void send_register(Guid guid, int home) override;
+  void send_data(Guid guid, int to, Bytes payload) override;
+  void post(std::function<void()> fn) override;
+  void finalize_barrier() override;
+
+  std::uint64_t data_messages_sent() const {
+    return data_sent_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void progress_loop(std::stop_token st);
+  void deliver(int to, AmBus::Msg msg);
+
+  std::shared_ptr<AmBus> bus_;
+  std::atomic<std::uint64_t> data_sent_{0};
+  std::jthread progress_;
+};
+
+}  // namespace dddf

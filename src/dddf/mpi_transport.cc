@@ -1,0 +1,78 @@
+#include "dddf/mpi_transport.h"
+
+#include <cstring>
+
+namespace dddf {
+
+namespace {
+// Tags in the system communicator's space; hcmpi's non-blocking collective
+// scripts use tags < 100, so the DDDF protocol lives at 1000+.
+constexpr int kTagRegister = 1000;
+constexpr int kTagData = 1001;
+
+struct RegisterMsg {
+  Guid guid;
+  int requester;
+};
+}  // namespace
+
+MpiTransport::MpiTransport(hcmpi::Context& ctx) :
+    Transport(ctx.rank(), ctx.size()), ctx_(ctx) {
+  ctx_.set_poller([this](smpi::Comm& comm) { return poll(comm); });
+}
+
+void MpiTransport::send_register(Guid guid, int home) {
+  int me = rank();
+  ctx_.post_exec([guid, home, me](smpi::Comm& comm) {
+    RegisterMsg msg{guid, me};
+    comm.send(&msg, sizeof msg, home, kTagRegister);
+  });
+}
+
+void MpiTransport::send_data(Guid guid, int to, Bytes payload) {
+  // Progress context == communication worker: send directly.
+  Bytes wire(sizeof(Guid) + payload.size());
+  std::memcpy(wire.data(), &guid, sizeof(Guid));
+  if (!payload.empty()) {
+    std::memcpy(wire.data() + sizeof(Guid), payload.data(), payload.size());
+  }
+  ctx_.post_exec([wire = std::move(wire), to](smpi::Comm& comm) {
+    comm.send(wire.data(), wire.size(), to, kTagData);
+  });
+  ++data_sent_;
+}
+
+void MpiTransport::post(std::function<void()> fn) {
+  ctx_.post_exec([fn = std::move(fn)](smpi::Comm&) { fn(); });
+}
+
+void MpiTransport::finalize_barrier() {
+  // The hcmpi non-blocking barrier progresses on the communication worker
+  // loop, which also drives poll() — the listener keeps serving stragglers.
+  hcmpi::RequestHandle req = ctx_.submit_nb_barrier();
+  hcmpi::Context::block_until(req);
+}
+
+bool MpiTransport::poll(smpi::Comm& comm) {
+  bool progress = false;
+  smpi::Status st;
+  while (comm.iprobe(smpi::kAnySource, kTagRegister, &st)) {
+    RegisterMsg msg{};
+    comm.recv(&msg, sizeof msg, st.source, kTagRegister);
+    ++regs_received_;
+    progress = true;
+    on_register_(msg.guid, msg.requester);
+  }
+  while (comm.iprobe(smpi::kAnySource, kTagData, &st)) {
+    Bytes wire(st.count_bytes);
+    comm.recv(wire.data(), wire.size(), st.source, kTagData);
+    progress = true;
+    Guid guid = 0;
+    std::memcpy(&guid, wire.data(), sizeof(Guid));
+    Bytes payload(wire.begin() + sizeof(Guid), wire.end());
+    on_data_(guid, std::move(payload));
+  }
+  return progress;
+}
+
+}  // namespace dddf

@@ -1,0 +1,34 @@
+// DDDF transport over the HCMPI communication worker (paper §III-B): the
+// REGISTER/DATA protocol rides the system communicator; the progress context
+// is the communication worker's poller slot.
+#pragma once
+
+#include <memory>
+
+#include "dddf/transport.h"
+#include "hcmpi/context.h"
+
+namespace dddf {
+
+class MpiTransport : public Transport {
+ public:
+  explicit MpiTransport(hcmpi::Context& ctx);
+
+  void send_register(Guid guid, int home) override;
+  void send_data(Guid guid, int to, Bytes payload) override;
+  void post(std::function<void()> fn) override;
+  void finalize_barrier() override;
+
+  // Introspection used by tests.
+  std::uint64_t data_messages_sent() const { return data_sent_; }
+  std::uint64_t registrations_received() const { return regs_received_; }
+
+ private:
+  bool poll(smpi::Comm& comm);
+
+  hcmpi::Context& ctx_;
+  std::uint64_t data_sent_ = 0;       // progress-context only
+  std::uint64_t regs_received_ = 0;   // progress-context only
+};
+
+}  // namespace dddf

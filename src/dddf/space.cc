@@ -1,0 +1,94 @@
+#include "dddf/space.h"
+
+#include <stdexcept>
+
+#include "dddf/mpi_transport.h"
+
+namespace dddf {
+
+Space::Space(hcmpi::Context& ctx, SpaceConfig cfg)
+    : Space(std::make_unique<MpiTransport>(ctx), std::move(cfg)) {}
+
+Space::Space(std::unique_ptr<Transport> transport, SpaceConfig cfg)
+    : transport_(std::move(transport)), cfg_(std::move(cfg)) {
+  transport_->bind(
+      [this](Guid g, int requester) { on_register(g, requester); },
+      [this](Guid g, Bytes payload) { on_data(g, std::move(payload)); });
+}
+
+Space::~Space() = default;
+
+Space::Entry* Space::ensure(Guid guid) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(guid);
+  if (it != entries_.end()) return it->second.get();
+  auto entry = std::make_unique<Entry>();
+  Entry* out = entry.get();
+  entries_.emplace(guid, std::move(entry));
+  return out;
+}
+
+hc::DdfBase* Space::handle(Guid guid) { return &ensure(guid)->ddf; }
+
+hc::DdfBase* Space::request(Guid guid) {
+  Entry* e = ensure(guid);
+  int home = cfg_.home(guid);
+  if (home != rank() &&
+      !e->fetch_requested.exchange(true, std::memory_order_acq_rel)) {
+    // First consumer on this rank: register intent with the home rank
+    // (paper: "the runtime sends the home location a message to register
+    // its intent on receiving the put data").
+    transport_->send_register(guid, home);
+  }
+  return &e->ddf;
+}
+
+void Space::put(Guid guid, Bytes data) {
+  if (!is_home(guid)) {
+    throw std::logic_error("dddf: DDF_PUT must run on the guid's home rank");
+  }
+  Entry* e = ensure(guid);
+  e->ddf.put(std::move(data));  // releases local DDTs
+  // Flush registrations that arrived before the put. The flush runs on the
+  // progress context, where `pending_`/`served_` live; a registration
+  // racing this put is answered directly by on_register (it sees the DDF
+  // satisfied), and `served_` keeps the transfer at-most-once either way.
+  transport_->post([this, guid, e] {
+    auto it = pending_.find(guid);
+    if (it == pending_.end()) return;
+    for (int requester : it->second) serve(guid, e, requester);
+    pending_.erase(it);
+  });
+}
+
+const Bytes& Space::get(Guid guid) { return ensure(guid)->ddf.get(); }
+
+void Space::serve(Guid guid, Entry* e, int requester) {
+  if (!served_[guid].insert(requester).second) return;  // at-most-once
+  transport_->send_data(guid, requester, e->ddf.get());
+  ++data_sent_;
+}
+
+void Space::on_register(Guid guid, int requester) {
+  ++regs_received_;
+  Entry* e = ensure(guid);
+  if (e->ddf.satisfied()) {
+    serve(guid, e, requester);  // the "listener task" answering late arrivals
+  } else {
+    pending_[guid].push_back(requester);
+  }
+}
+
+void Space::on_data(Guid guid, Bytes payload) {
+  ensure(guid)->ddf.put(std::move(payload));  // wakes awaiting DDTs
+}
+
+void Space::finalize() {
+  // When every rank has reached finalize, every await was satisfied, hence
+  // every registration was served and no protocol message is in flight: a
+  // single system-wide barrier *whose progress engine keeps the listener
+  // serving* is a sound termination detector (DESIGN.md §5).
+  transport_->finalize_barrier();
+}
+
+}  // namespace dddf

@@ -1,0 +1,64 @@
+// Transport abstraction under the DDDF space (paper §I: "The APGNS model
+// can be implemented atop a wide range of communication runtimes that
+// includes MPI and GASNet"). A transport delivers the two protocol messages
+// (REGISTER and DATA) and provides a progress context — a single thread per
+// rank from which all handlers and posted closures run, so Space's
+// home-side state needs no locks.
+//
+// Backends:
+//   * MpiTransport (mpi_transport.h) — rides the HCMPI communication worker
+//     and the smpi substrate; the configuration the paper evaluates.
+//   * AmTransport (am_transport.h)   — a GASNet-flavored active-message bus
+//     with its own progress thread per rank; no MPI anywhere.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace dddf {
+
+using Guid = std::uint64_t;
+using Bytes = std::vector<std::uint8_t>;
+
+class Transport {
+ public:
+  // Home side: a remote rank registered intent on guid.
+  using RegisterHandler = std::function<void(Guid, int requester)>;
+  // Remote side: the home rank delivered guid's payload.
+  using DataHandler = std::function<void(Guid, Bytes)>;
+
+  virtual ~Transport() = default;
+
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+
+  // Installed once by Space before any traffic.
+  void bind(RegisterHandler on_register, DataHandler on_data) {
+    on_register_ = std::move(on_register);
+    on_data_ = std::move(on_data);
+  }
+
+  // May be called from any thread.
+  virtual void send_register(Guid guid, int home) = 0;
+  // Called from the progress context only (home side serving a value).
+  virtual void send_data(Guid guid, int to, Bytes payload) = 0;
+  // Runs fn on the progress context (serialized with handlers).
+  virtual void post(std::function<void()> fn) = 0;
+  // Collective termination barrier; the progress engine MUST keep serving
+  // protocol messages while blocked here (Space::finalize's soundness
+  // argument depends on it).
+  virtual void finalize_barrier() = 0;
+
+ protected:
+  Transport(int rank, int size) : rank_(rank), size_(size) {}
+
+  RegisterHandler on_register_;
+  DataHandler on_data_;
+
+ private:
+  int rank_;
+  int size_;
+};
+
+}  // namespace dddf

@@ -1,0 +1,70 @@
+// Blocking HCMPI collectives (paper §II-C): the computation task prescribes
+// a communication task and blocks until the communication worker has run the
+// collective. Collectives execute in FIFO order per rank.
+#include "hcmpi/context.h"
+
+namespace hcmpi {
+
+void Context::run_blocking_collective(CommKind kind, const void* in,
+                                      void* out, std::size_t count_or_bytes,
+                                      Datatype t, Op op, int root) {
+  auto req = std::make_shared<RequestImpl>();
+  CommTask* task = allocate_task();
+  task->kind = kind;
+  task->coll_in = in;
+  task->coll_out = out;
+  if (kind == CommKind::kBcast || kind == CommKind::kGather ||
+      kind == CommKind::kScatter) {
+    task->bytes = count_or_bytes;
+  } else {
+    task->count = count_or_bytes;
+  }
+  task->dtype = t;
+  task->op = op;
+  task->root = root;
+  task->request = req;
+  task->finish = nullptr;  // the caller blocks; no finish accounting needed
+  submit(task);
+  // Block without helping: executing arbitrary stolen tasks here could run
+  // another collective call and scramble the per-rank collective order.
+  block_until(req);
+}
+
+void Context::barrier() {
+  run_blocking_collective(CommKind::kBarrier, nullptr, nullptr, 0,
+                          Datatype::kByte, Op::kSum, 0);
+}
+
+void Context::bcast(void* buf, std::size_t bytes, int root) {
+  run_blocking_collective(CommKind::kBcast, nullptr, buf, bytes,
+                          Datatype::kByte, Op::kSum, root);
+}
+
+void Context::reduce(const void* in, void* out, std::size_t count, Datatype t,
+                     Op op, int root) {
+  run_blocking_collective(CommKind::kReduce, in, out, count, t, op, root);
+}
+
+void Context::allreduce(const void* in, void* out, std::size_t count,
+                        Datatype t, Op op) {
+  run_blocking_collective(CommKind::kAllreduce, in, out, count, t, op, 0);
+}
+
+void Context::scan(const void* in, void* out, std::size_t count, Datatype t,
+                   Op op) {
+  run_blocking_collective(CommKind::kScan, in, out, count, t, op, 0);
+}
+
+void Context::gather(const void* send, std::size_t bytes_per_rank, void* recv,
+                     int root) {
+  run_blocking_collective(CommKind::kGather, send, recv, bytes_per_rank,
+                          Datatype::kByte, Op::kSum, root);
+}
+
+void Context::scatter(const void* send, std::size_t bytes_per_rank,
+                      void* recv, int root) {
+  run_blocking_collective(CommKind::kScatter, send, recv, bytes_per_rank,
+                          Datatype::kByte, Op::kSum, root);
+}
+
+}  // namespace hcmpi

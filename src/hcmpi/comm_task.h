@@ -1,0 +1,115 @@
+// Communication tasks and their lifecycle (paper Fig. 11):
+//
+//   ALLOCATED -> PRESCRIBED -> ACTIVE -> COMPLETED -> AVAILABLE
+//
+// A computation worker allocates a task (recycling from the AVAILABLE pool
+// when possible), fills in the operation (PRESCRIBED) and enqueues it on the
+// communication worker's lock-free worklist. The communication worker issues
+// the underlying smpi operation (ACTIVE for asynchronous point-to-point,
+// blocking execution for collectives), completes it (COMPLETED: status is
+// DDF_PUT onto the HCMPI request, the enclosing finish scope is released)
+// and recycles the slot (AVAILABLE, generation bumped so stale cancel
+// handles can never touch a reused slot).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "core/ddf.h"
+#include "smpi/comm.h"
+
+namespace hcmpi {
+
+using Status = smpi::Status;
+
+enum class CommKind : std::uint8_t {
+  kIsend,
+  kIrecv,
+  kCancel,
+  // Collectives execute in FIFO order on the communication worker (MPI's
+  // one-collective-at-a-time-per-communicator rule).
+  kBarrier,
+  kBcast,
+  kReduce,
+  kAllreduce,
+  kScan,
+  kGather,
+  kScatter,
+  // Script-driven non-blocking collectives: the communication worker makes
+  // progress on them between p2p polls instead of blocking. Used by the
+  // hcmpi-phaser bridge (fuzzy barriers must overlap) and DDDF termination.
+  kNbBarrier,
+  kNbAllreduce,
+  // Arbitrary closure executed on the communication worker with the system
+  // communicator (the DDDF transport hooks in through this).
+  kExec,
+  kShutdown,
+};
+
+enum class CommTaskState : std::uint8_t {
+  kAllocated,
+  kPrescribed,
+  kActive,
+  kCompleted,
+  kAvailable,
+};
+
+// An HCMPI request is a DDF of Status ("An important property of an
+// HCMPI_Request object is that it can also be provided wherever an HC DDF is
+// expected", §II-B) plus a guarded pointer to its communication task so
+// test/cancel can reach the in-flight operation.
+struct CommTask;
+
+class RequestImpl : public hc::Ddf<Status> {
+ public:
+  std::atomic<CommTask*> task{nullptr};
+  std::atomic<std::uint64_t> task_gen{0};
+};
+
+using RequestHandle = std::shared_ptr<RequestImpl>;
+
+struct NbScript;  // defined in comm_worker.cc
+struct NbScriptDeleter {
+  void operator()(NbScript* s) const;  // defined in comm_worker.cc
+};
+
+struct CommTask {
+  std::atomic<CommTaskState> state{CommTaskState::kAllocated};
+  std::atomic<std::uint64_t> gen{0};
+  CommKind kind = CommKind::kIsend;
+
+  // Point-to-point.
+  const void* send_buf = nullptr;
+  void* recv_buf = nullptr;
+  std::size_t bytes = 0;
+  int peer = smpi::kAnySource;
+  int tag = smpi::kAnyTag;
+  smpi::Request sreq;
+
+  // Collectives.
+  const void* coll_in = nullptr;
+  void* coll_out = nullptr;
+  std::size_t count = 0;
+  smpi::Datatype dtype = smpi::Datatype::kByte;
+  smpi::Op op = smpi::Op::kSum;
+  int root = 0;
+
+  // Cancel command.
+  CommTask* target = nullptr;
+  std::uint64_t target_gen = 0;
+
+  // Exec command.
+  std::function<void(smpi::Comm&)> exec;
+
+  // Completion plumbing.
+  RequestHandle request;            // status lands here (may be null)
+  hc::FinishScope* finish = nullptr;  // inc'd at creation, dec'd on completion
+
+  // Live only while a kNb* op progresses. Custom deleter keeps NbScript an
+  // implementation detail of the communication worker.
+  std::unique_ptr<NbScript, NbScriptDeleter> script;
+};
+
+}  // namespace hcmpi

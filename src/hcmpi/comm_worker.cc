@@ -1,0 +1,349 @@
+// The dedicated communication worker (paper Fig. 10): drains the lock-free
+// worklist, issues smpi operations, polls ACTIVE requests with test (the
+// paper's MPI_Test loop), makes progress on script-based non-blocking
+// collectives, and runs the DDDF poller — all on one thread, so the
+// substrate operates at MPI_THREAD_SINGLE no matter how many computation
+// workers are active.
+#include <cstring>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "hcmpi/context.h"
+
+namespace hcmpi {
+
+// ---------------------------------------------------------------------------
+// Script-based non-blocking collectives.
+//
+// Each rank's half of a collective is a straight-line "script" of steps
+// (send, recv+combine, recv-overwrite); the communication worker advances
+// the script whenever the pending receive tests complete. Collectives are
+// strictly FIFO per rank, so a fixed tag per step class is unambiguous
+// (matching is FIFO per (source, tag, context) channel).
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr int kTagNbBarrier = 16;  // +round
+constexpr int kTagNbReduce = 80;
+constexpr int kTagNbBcast = 81;
+}  // namespace
+
+struct NbStep {
+  enum class K : std::uint8_t { kSendAcc, kRecvCombine, kRecvAcc };
+  K kind;
+  int peer;
+  int tag;
+};
+
+struct NbScript {
+  std::vector<NbStep> steps;
+  std::size_t pc = 0;
+  std::vector<std::uint8_t> acc, scratch;
+  smpi::Request pending;
+  smpi::Datatype dtype = smpi::Datatype::kByte;
+  smpi::Op op = smpi::Op::kSum;
+  std::size_t count = 0;
+
+  static NbScript* barrier(const smpi::Comm& c) {
+    auto* s = new NbScript;
+    int p = c.size(), r = c.rank();
+    for (int k = 0, dist = 1; dist < p; ++k, dist <<= 1) {
+      s->steps.push_back({NbStep::K::kSendAcc, (r + dist) % p, kTagNbBarrier + k});
+      s->steps.push_back(
+          {NbStep::K::kRecvAcc, (r - dist % p + p) % p, kTagNbBarrier + k});
+    }
+    return s;
+  }
+
+  static NbScript* allreduce(const smpi::Comm& c, const void* in,
+                             std::size_t count, smpi::Datatype t,
+                             smpi::Op op) {
+    auto* s = new NbScript;
+    s->dtype = t;
+    s->op = op;
+    s->count = count;
+    std::size_t bytes = count * smpi::datatype_size(t);
+    s->acc.resize(bytes);
+    s->scratch.resize(bytes);
+    if (bytes > 0) std::memcpy(s->acc.data(), in, bytes);
+    int p = c.size(), r = c.rank();
+    // Binomial reduce toward rank 0 ...
+    for (int mask = 1; mask < p; mask <<= 1) {
+      if (r & mask) {
+        s->steps.push_back({NbStep::K::kSendAcc, r - mask, kTagNbReduce});
+        break;
+      }
+      if (r + mask < p) {
+        s->steps.push_back({NbStep::K::kRecvCombine, r + mask, kTagNbReduce});
+      }
+    }
+    // ... then binomial bcast from rank 0 (same shape as Comm::bcast).
+    int mask = 1;
+    while (mask < p) {
+      if (r & mask) {
+        s->steps.push_back({NbStep::K::kRecvAcc, r - mask, kTagNbBcast});
+        break;
+      }
+      mask <<= 1;
+    }
+    mask >>= 1;
+    // Masks below a rank's receive mask are clear in its rank id, so the
+    // r+mask < p guard is the only condition needed (same as Comm::bcast).
+    while (mask > 0) {
+      if (r + mask < p) {
+        s->steps.push_back({NbStep::K::kSendAcc, r + mask, kTagNbBcast});
+      }
+      mask >>= 1;
+    }
+    return s;
+  }
+
+  // Advances as far as possible. True when the script has finished.
+  bool step(smpi::Comm& c) {
+    while (pc < steps.size()) {
+      NbStep& st = steps[pc];
+      switch (st.kind) {
+        case NbStep::K::kSendAcc:
+          c.send(acc.data(), acc.size(), st.peer, st.tag);
+          ++pc;
+          break;
+        case NbStep::K::kRecvCombine:
+        case NbStep::K::kRecvAcc: {
+          bool into_acc = st.kind == NbStep::K::kRecvAcc;
+          if (!pending) {
+            pending = c.irecv(into_acc ? acc.data() : scratch.data(),
+                              into_acc ? acc.size() : scratch.size(), st.peer,
+                              st.tag);
+          }
+          if (!c.test(pending)) return false;
+          pending.reset();
+          if (!into_acc && count > 0) {
+            smpi::apply_op(op, dtype, acc.data(), scratch.data(), count);
+          }
+          ++pc;
+          break;
+        }
+      }
+    }
+    return true;
+  }
+
+};
+
+void NbScriptDeleter::operator()(NbScript* s) const { delete s; }
+
+// ---------------------------------------------------------------------------
+// Context pieces that need NbScript's definition.
+// ---------------------------------------------------------------------------
+
+RequestHandle Context::submit_nb_barrier() {
+  auto req = std::make_shared<RequestImpl>();
+  CommTask* t = allocate_task();
+  t->kind = CommKind::kNbBarrier;
+  t->request = req;
+  t->finish = nullptr;
+  submit(t);
+  return req;
+}
+
+RequestHandle Context::submit_nb_allreduce(const void* in, void* out,
+                                           std::size_t count, Datatype dt,
+                                           Op op) {
+  auto req = std::make_shared<RequestImpl>();
+  CommTask* t = allocate_task();
+  t->kind = CommKind::kNbAllreduce;
+  t->coll_in = in;
+  t->coll_out = out;
+  t->count = count;
+  t->dtype = dt;
+  t->op = op;
+  t->request = req;
+  t->finish = nullptr;
+  submit(t);
+  return req;
+}
+
+void Context::comm_worker_main() {
+  runtime_->register_producer();
+
+  std::vector<CommTask*> active;        // ACTIVE irecvs being polled
+  std::deque<CommTask*> coll_queue;     // FIFO of collectives
+  bool shutting_down = false;
+
+  auto complete_p2p = [&](CommTask* t) {
+    Status st;
+    comm_.test(t->sreq, &st);
+    complete_task(t, st);
+  };
+
+  for (;;) {
+    bool progress = false;
+
+    // 1. Drain the worklist.
+    CommTask* t = nullptr;
+    while (worklist_.pop(t)) {
+      progress = true;
+      switch (t->kind) {
+        case CommKind::kShutdown:
+          shutting_down = true;
+          release_task(t);
+          break;
+        case CommKind::kIsend: {
+          t->state.store(CommTaskState::kActive, std::memory_order_release);
+          t->sreq = comm_.isend(t->send_buf, t->bytes, t->peer, t->tag);
+          complete_p2p(t);  // eager substrate: sends complete immediately
+          break;
+        }
+        case CommKind::kIrecv: {
+          t->state.store(CommTaskState::kActive, std::memory_order_release);
+          t->sreq = comm_.irecv(t->recv_buf, t->bytes, t->peer, t->tag);
+          if (t->sreq->done()) {
+            complete_p2p(t);
+          } else {
+            active.push_back(t);
+          }
+          break;
+        }
+        case CommKind::kCancel: {
+          CommTask* target = t->target;
+          // The generation check makes a stale handle harmless: a recycled
+          // slot has a bumped generation and is left alone.
+          if (target != nullptr &&
+              target->gen.load(std::memory_order_acquire) == t->target_gen &&
+              target->state.load(std::memory_order_acquire) ==
+                  CommTaskState::kActive &&
+              target->kind == CommKind::kIrecv) {
+            if (comm_.cancel(target->sreq)) {
+              std::erase(active, target);
+              Status st;
+              st.cancelled = true;
+              st.error = smpi::ErrorCode::kCancelled;
+              complete_task(target, st);
+            }
+          }
+          release_task(t);
+          break;
+        }
+        case CommKind::kExec: {
+          t->state.store(CommTaskState::kActive, std::memory_order_release);
+          t->exec(sys_comm_);
+          Status st;
+          complete_task(t, st);
+          break;
+        }
+        default:
+          // Collectives: ordered FIFO execution.
+          t->state.store(CommTaskState::kActive, std::memory_order_release);
+          coll_queue.push_back(t);
+          break;
+      }
+    }
+
+    // 2. Poll ACTIVE point-to-point requests (the paper's MPI_Test loop).
+    for (std::size_t i = 0; i < active.size();) {
+      if (active[i]->sreq->done()) {
+        CommTask* done = active[i];
+        active[i] = active.back();
+        active.pop_back();
+        complete_p2p(done);
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+
+    // 3. Progress the head collective.
+    if (!coll_queue.empty()) {
+      CommTask* head = coll_queue.front();
+      bool finished = false;
+      switch (head->kind) {
+        case CommKind::kNbBarrier:
+          if (!head->script) head->script.reset(NbScript::barrier(sys_comm_));
+          finished = head->script->step(sys_comm_);
+          break;
+        case CommKind::kNbAllreduce:
+          if (!head->script) {
+            head->script.reset(NbScript::allreduce(sys_comm_, head->coll_in,
+                                                   head->count, head->dtype,
+                                                   head->op));
+          }
+          finished = head->script->step(sys_comm_);
+          if (finished && head->coll_out != nullptr &&
+              !head->script->acc.empty()) {
+            std::memcpy(head->coll_out, head->script->acc.data(),
+                        head->script->acc.size());
+          }
+          break;
+        case CommKind::kBarrier:
+          comm_.barrier();  // paper: the worker blocks for collective calls
+          finished = true;
+          break;
+        case CommKind::kBcast:
+          comm_.bcast(head->coll_out, head->bytes, head->root);
+          finished = true;
+          break;
+        case CommKind::kReduce:
+          comm_.reduce(head->coll_in, head->coll_out, head->count,
+                       head->dtype, head->op, head->root);
+          finished = true;
+          break;
+        case CommKind::kAllreduce:
+          comm_.allreduce(head->coll_in, head->coll_out, head->count,
+                          head->dtype, head->op);
+          finished = true;
+          break;
+        case CommKind::kScan:
+          comm_.scan(head->coll_in, head->coll_out, head->count, head->dtype,
+                     head->op);
+          finished = true;
+          break;
+        case CommKind::kGather:
+          comm_.gather(head->coll_in, head->bytes, head->coll_out,
+                       head->root);
+          finished = true;
+          break;
+        case CommKind::kScatter:
+          comm_.scatter(head->coll_in, head->bytes, head->coll_out,
+                        head->root);
+          finished = true;
+          break;
+        default:
+          finished = true;  // unreachable
+          break;
+      }
+      if (finished) {
+        coll_queue.pop_front();
+        Status st;
+        complete_task(head, st);
+        progress = true;
+      }
+    }
+
+    // 4. DDDF / user poller.
+    if (poller_set_.load(std::memory_order_acquire) && poller_(sys_comm_)) {
+      progress = true;
+    }
+
+    if (shutting_down && active.empty() && coll_queue.empty() &&
+        worklist_.empty_approx()) {
+      break;
+    }
+    if (!progress) std::this_thread::yield();
+  }
+
+  // Teardown: cancel anything still pending so no slot leaks in ACTIVE
+  // state (cancelled status is observable on the requests).
+  for (CommTask* t : active) {
+    if (comm_.cancel(t->sreq)) {
+      Status st;
+      st.cancelled = true;
+      st.error = smpi::ErrorCode::kCancelled;
+      complete_task(t, st);
+    } else {
+      complete_p2p(t);
+    }
+  }
+}
+
+}  // namespace hcmpi

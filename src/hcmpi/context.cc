@@ -1,0 +1,253 @@
+#include "hcmpi/context.h"
+
+#include "support/spin.h"
+
+namespace hcmpi {
+
+Context::Context(smpi::Comm comm, const ContextConfig& cfg)
+    : comm_(comm), sys_comm_(comm.dup()) {
+  hc::RuntimeConfig rc;
+  rc.num_workers = cfg.num_workers;
+  runtime_ = std::make_unique<hc::Runtime>(rc);
+  comm_thread_ = std::jthread([this] { comm_worker_main(); });
+}
+
+Context::~Context() {
+  CommTask* t = allocate_task();
+  t->kind = CommKind::kShutdown;
+  submit(t);
+  if (comm_thread_.joinable()) comm_thread_.join();
+  runtime_.reset();
+  for (CommTask* task : pool_) (void)task;  // owned by all_tasks_
+}
+
+CommTask* Context::allocate_task() {
+  {
+    std::lock_guard<support::SpinLock> lk(pool_mu_);
+    if (!pool_.empty()) {
+      CommTask* t = pool_.back();
+      pool_.pop_back();
+      t->state.store(CommTaskState::kAllocated, std::memory_order_relaxed);
+      recycled_.fetch_add(1, std::memory_order_relaxed);
+      return t;
+    }
+  }
+  auto owned = std::make_unique<CommTask>();
+  CommTask* t = owned.get();
+  {
+    std::lock_guard<support::SpinLock> lk(pool_mu_);
+    all_tasks_.push_back(std::move(owned));
+  }
+  return t;
+}
+
+void Context::release_task(CommTask* t) {
+  // Scrub everything a recycled slot must not leak.
+  t->sreq.reset();
+  t->request.reset();
+  t->finish = nullptr;
+  t->exec = nullptr;
+  t->script.reset();
+  t->target = nullptr;
+  t->gen.fetch_add(1, std::memory_order_acq_rel);
+  t->state.store(CommTaskState::kAvailable, std::memory_order_release);
+  std::lock_guard<support::SpinLock> lk(pool_mu_);
+  pool_.push_back(t);
+}
+
+std::uint64_t Context::pool_size() const {
+  std::lock_guard<support::SpinLock> lk(
+      const_cast<support::SpinLock&>(pool_mu_));
+  return pool_.size();
+}
+
+void Context::submit(CommTask* t) {
+  t->state.store(CommTaskState::kPrescribed, std::memory_order_release);
+  worklist_.push(t);
+}
+
+void Context::post_exec(std::function<void(smpi::Comm&)> fn) {
+  CommTask* t = allocate_task();
+  t->kind = CommKind::kExec;
+  t->exec = std::move(fn);
+  submit(t);
+}
+
+RequestHandle Context::post_exec_async(std::function<void(smpi::Comm&)> fn) {
+  auto req = std::make_shared<RequestImpl>();
+  CommTask* t = allocate_task();
+  t->kind = CommKind::kExec;
+  t->exec = std::move(fn);
+  t->request = req;
+  hc::FinishScope* fs = hc::Runtime::current_finish();
+  if (fs != nullptr) fs->inc();
+  t->finish = fs;
+  submit(t);
+  return req;
+}
+
+void Context::set_poller(std::function<bool(smpi::Comm&)> poller) {
+  poller_ = std::move(poller);
+  poller_set_.store(true, std::memory_order_release);
+}
+
+void Context::complete_task(CommTask* t, const Status& st) {
+  t->state.store(CommTaskState::kCompleted, std::memory_order_release);
+  RequestHandle req = t->request;
+  hc::FinishScope* fs = t->finish;
+  if (req) {
+    // Unlink before the slot can be recycled: a racing cancel/test sees
+    // either a live task with a matching generation or no task at all.
+    req->task.store(nullptr, std::memory_order_release);
+  }
+  release_task(t);
+  // Putting the status releases DDTs awaiting this request and wakes
+  // help-waiters; do it after release so the slot is reusable immediately.
+  if (req) req->put(st);
+  if (fs != nullptr) fs->dec();
+}
+
+void Context::block_until(const RequestHandle& r) {
+  support::Backoff backoff;
+  while (!r->satisfied()) backoff.pause();
+}
+
+void Context::help_wait_satisfied(const hc::DdfBase& ddf) {
+  hc::Worker* w = hc::Runtime::current_worker();
+  if (w != nullptr && w->is_computation() &&
+      hc::Runtime::current_runtime() == runtime_.get()) {
+    support::Backoff backoff;
+    while (!ddf.satisfied()) {
+      if (hc::Task* t = w->try_get_task()) {
+        w->execute(t);
+        backoff.reset();
+      } else {
+        backoff.pause();
+      }
+    }
+  } else {
+    support::Backoff backoff;
+    while (!ddf.satisfied()) backoff.pause();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Point-to-point API
+// ---------------------------------------------------------------------------
+
+RequestHandle Context::make_p2p(CommKind kind, const void* sbuf, void* rbuf,
+                                std::size_t bytes, int peer, int tag) {
+  auto req = std::make_shared<RequestImpl>();
+  CommTask* t = allocate_task();
+  t->kind = kind;
+  t->send_buf = sbuf;
+  t->recv_buf = rbuf;
+  t->bytes = bytes;
+  t->peer = peer;
+  t->tag = tag;
+  t->request = req;
+  // Communication tasks join the enclosing finish scope (paper Fig. 3: a
+  // finish around HCMPI_Irecv implements HCMPI_Recv).
+  hc::FinishScope* fs = hc::Runtime::current_finish();
+  if (fs != nullptr) fs->inc();
+  t->finish = fs;
+  req->task.store(t, std::memory_order_release);
+  req->task_gen.store(t->gen.load(std::memory_order_acquire),
+                      std::memory_order_release);
+  submit(t);
+  return req;
+}
+
+RequestHandle Context::isend(const void* buf, std::size_t bytes, int dest,
+                             int tag) {
+  return make_p2p(CommKind::kIsend, buf, nullptr, bytes, dest, tag);
+}
+
+RequestHandle Context::irecv(void* buf, std::size_t cap, int source,
+                             int tag) {
+  return make_p2p(CommKind::kIrecv, nullptr, buf, cap, source, tag);
+}
+
+void Context::send(const void* buf, std::size_t bytes, int dest, int tag) {
+  wait(isend(buf, bytes, dest, tag));
+}
+
+void Context::recv(void* buf, std::size_t cap, int source, int tag,
+                   Status* st) {
+  wait(irecv(buf, cap, source, tag), st);
+}
+
+bool Context::test(const RequestHandle& r, Status* st) {
+  if (!r || !r->satisfied()) return false;
+  if (st != nullptr) *st = r->get();
+  return true;
+}
+
+bool Context::testall(const std::vector<RequestHandle>& rs) {
+  for (const auto& r : rs) {
+    if (r && !r->satisfied()) return false;
+  }
+  return true;
+}
+
+int Context::testany(const std::vector<RequestHandle>& rs, Status* st) {
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    if (rs[i] && rs[i]->satisfied()) {
+      if (st != nullptr) *st = rs[i]->get();
+      return int(i);
+    }
+  }
+  return -1;
+}
+
+void Context::wait(const RequestHandle& r, Status* st) {
+  // Paper §III: HCMPI_Wait is `finish { async await(req) {} }` — i.e. the
+  // computation worker stays productive while the communication completes.
+  help_wait_satisfied(*r);
+  if (st != nullptr) *st = r->get();
+}
+
+void Context::waitall(const std::vector<RequestHandle>& rs) {
+  // An AND await list (paper §III).
+  for (const auto& r : rs) {
+    if (r) help_wait_satisfied(*r);
+  }
+}
+
+int Context::waitany(const std::vector<RequestHandle>& rs, Status* st) {
+  // An OR await list (paper §III, Fig. 12).
+  if (rs.empty()) return -1;
+  hc::Worker* w = hc::Runtime::current_worker();
+  support::Backoff backoff;
+  for (;;) {
+    int i = testany(rs, st);
+    if (i >= 0) return i;
+    if (w != nullptr && w->is_computation()) {
+      if (hc::Task* t = w->try_get_task()) {
+        w->execute(t);
+        backoff.reset();
+        continue;
+      }
+    }
+    backoff.pause();
+  }
+}
+
+bool Context::cancel(const RequestHandle& r) {
+  if (!r || r->satisfied()) return false;
+  CommTask* target = r->task.load(std::memory_order_acquire);
+  if (target == nullptr) return false;
+  CommTask* t = allocate_task();
+  t->kind = CommKind::kCancel;
+  t->target = target;
+  t->target_gen = r->task_gen.load(std::memory_order_acquire);
+  t->request = nullptr;
+  t->finish = nullptr;
+  submit(t);
+  // Cancellation is itself asynchronous; the caller observes the outcome on
+  // the request (status.cancelled). Wait for a verdict either way.
+  help_wait_satisfied(*r);
+  return r->get().cancelled;
+}
+
+}  // namespace hcmpi

@@ -1,0 +1,162 @@
+// HCMPI Context: one per rank. Owns the rank's Habanero-C runtime
+// (computation workers) and the dedicated communication worker thread
+// (paper Fig. 10), and exposes the HCMPI API of Table I:
+//
+//   point-to-point  isend/irecv/send/recv, test/testall/testany,
+//                   wait/waitall/waitany, cancel, get_count
+//   collectives     barrier/bcast/reduce/allreduce/scan/gather/scatter
+//   unified sync    phaser_create (hcmpi-phaser), accum_create (hcmpi-accum)
+//
+// All MPI activity is funneled through the communication worker, so the
+// substrate runs at MPI_THREAD_SINGLE semantics no matter how many
+// computation workers exist — the design point the paper's micro-benchmarks
+// evaluate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/api.h"
+#include "core/runtime.h"
+#include "hcmpi/comm_task.h"
+#include "smpi/comm.h"
+#include "smpi/world.h"
+#include "support/mpsc_queue.h"
+#include "support/spin.h"
+
+namespace hcmpi {
+
+using Datatype = smpi::Datatype;
+using Op = smpi::Op;
+
+struct ContextConfig {
+  int num_workers = 2;  // computation workers (the paper's -nproc)
+};
+
+class Context {
+ public:
+  // Collective: every rank must construct its Context together (the system
+  // communicator is carved out with a comm dup).
+  Context(smpi::Comm comm, const ContextConfig& cfg);
+  ~Context();
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  int rank() const { return comm_.rank(); }
+  int size() const { return comm_.size(); }
+  hc::Runtime& runtime() { return *runtime_; }
+
+  // The user-traffic communicator. Exposed for communication-worker pollers
+  // that service application-level protocols (e.g. UTS steal listeners);
+  // smpi is thread-safe, but ordering rules are the caller's problem.
+  smpi::Comm& user_comm() { return comm_; }
+
+  // Runs main_fn as the root task; returns when it and all transitively
+  // spawned tasks (including pending communication tasks in its scope) have
+  // completed.
+  void run(std::function<void()> main_fn) { runtime_->launch(std::move(main_fn)); }
+
+  // --- point-to-point (HCMPI_Isend / HCMPI_Irecv / ...) ---
+  RequestHandle isend(const void* buf, std::size_t bytes, int dest, int tag);
+  RequestHandle irecv(void* buf, std::size_t cap, int source, int tag);
+  void send(const void* buf, std::size_t bytes, int dest, int tag);
+  void recv(void* buf, std::size_t cap, int source, int tag,
+            Status* st = nullptr);
+
+  bool test(const RequestHandle& r, Status* st = nullptr);
+  bool testall(const std::vector<RequestHandle>& rs);
+  int testany(const std::vector<RequestHandle>& rs, Status* st = nullptr);
+  void wait(const RequestHandle& r, Status* st = nullptr);
+  void waitall(const std::vector<RequestHandle>& rs);
+  int waitany(const std::vector<RequestHandle>& rs, Status* st = nullptr);
+  bool cancel(const RequestHandle& r);
+
+  static int get_count(const Status& st, Datatype t) { return st.get_count(t); }
+
+  // HCMPI_REQUEST_CREATE: a bare request handle; since a request *is* a DDF,
+  // user code can DDF_PUT it to splice arbitrary events into await lists.
+  static RequestHandle request_create() {
+    return std::make_shared<RequestImpl>();
+  }
+
+  // --- collectives (blocking; HCMPI_Barrier / ...) ---
+  void barrier();
+  void bcast(void* buf, std::size_t bytes, int root);
+  void reduce(const void* in, void* out, std::size_t count, Datatype t, Op op,
+              int root);
+  void allreduce(const void* in, void* out, std::size_t count, Datatype t,
+                 Op op);
+  void scan(const void* in, void* out, std::size_t count, Datatype t, Op op);
+  void gather(const void* send, std::size_t bytes_per_rank, void* recv,
+              int root);
+  void scatter(const void* send, std::size_t bytes_per_rank, void* recv,
+               int root);
+
+  // --- communication-worker plumbing (used by the phaser bridge & DDDF) ---
+
+  // Allocates (or recycles) a communication task in ALLOCATED state.
+  CommTask* allocate_task();
+  // Marks PRESCRIBED and enqueues on the communication worker's worklist.
+  void submit(CommTask* t);
+  // Runs fn on the communication worker thread with the system communicator.
+  void post_exec(std::function<void(smpi::Comm&)> fn);
+  // Same, but as a first-class communication task: joins the enclosing
+  // finish scope and completes the returned request when fn returns. The
+  // basis of the asynchronous RMA operations (hcmpi/rma.h).
+  RequestHandle post_exec_async(std::function<void(smpi::Comm&)> fn);
+  // Registers a progress poller called every communication-worker iteration
+  // (DDDF listener). Must be installed before traffic starts.
+  void set_poller(std::function<bool(smpi::Comm&)> poller);
+  // Enqueues a script-based non-blocking barrier/allreduce; the returned
+  // request is put when it completes. `finish_scoped` controls whether the
+  // op joins the caller's finish scope.
+  RequestHandle submit_nb_barrier();
+  RequestHandle submit_nb_allreduce(const void* in, void* out,
+                                    std::size_t count, Datatype t, Op op);
+
+  // Blocks (yield-spin, no helping) until the request completes. Safe from
+  // phaser boundaries where help-execution could self-deadlock.
+  static void block_until(const RequestHandle& r);
+
+  // Lifecycle observability for tests (counts recycled slots).
+  std::uint64_t pool_size() const;
+  std::uint64_t tasks_recycled() const {
+    return recycled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class CommWorker;
+
+  void comm_worker_main();
+  void help_wait_satisfied(const hc::DdfBase& ddf);
+  RequestHandle make_p2p(CommKind kind, const void* sbuf, void* rbuf,
+                         std::size_t bytes, int peer, int tag);
+  void run_blocking_collective(CommKind kind, const void* in, void* out,
+                               std::size_t count_or_bytes, Datatype t, Op op,
+                               int root);
+  void release_task(CommTask* t);
+  void complete_task(CommTask* t, const Status& st);
+
+  smpi::Comm comm_;       // user traffic
+  smpi::Comm sys_comm_;   // internal traffic (nb collectives, DDDF)
+  std::unique_ptr<hc::Runtime> runtime_;
+
+  support::MpscQueue<CommTask*> worklist_;
+  std::atomic<bool> shutdown_{false};
+
+  support::SpinLock pool_mu_;
+  std::vector<CommTask*> pool_;
+  std::vector<std::unique_ptr<CommTask>> all_tasks_;
+  std::atomic<std::uint64_t> recycled_{0};
+
+  std::function<bool(smpi::Comm&)> poller_;
+  std::atomic<bool> poller_set_{false};
+
+  std::jthread comm_thread_;
+};
+
+}  // namespace hcmpi

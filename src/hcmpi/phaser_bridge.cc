@@ -1,0 +1,31 @@
+#include "hcmpi/phaser_bridge.h"
+
+namespace hcmpi {
+
+void InterNodeBarrierHook::early_start(std::uint64_t phase) {
+  // Fuzzy mode: launched by the first local arrival; overlaps the remaining
+  // intra-node signal collection (paper §III-A). The phaser guarantees
+  // exactly one early_start per phase, and the bank slot is free (drift < 4).
+  inflight_[phase % 4] = ctx_.submit_nb_barrier();
+}
+
+void InterNodeBarrierHook::at_boundary(std::uint64_t phase) {
+  RequestHandle& slot = inflight_[phase % 4];
+  if (!slot) {
+    // Strict mode: start the inter-node barrier only after every intra-node
+    // signal arrived.
+    slot = ctx_.submit_nb_barrier();
+  }
+  // The phaser master "waits on a notification from the communication task"
+  // — block without helping (helping could re-enter this phaser).
+  Context::block_until(slot);
+  slot.reset();
+}
+
+HcmpiPhaser::HcmpiPhaser(Context& ctx, bool fuzzy,
+                         const hc::Phaser::Config& cfg)
+    : hook_(ctx), phaser_(cfg) {
+  phaser_.set_hook(&hook_, fuzzy);
+}
+
+}  // namespace hcmpi

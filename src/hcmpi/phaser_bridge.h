@@ -1,0 +1,119 @@
+// hcmpi-phaser and hcmpi-accum (paper §II-C, §III-A, Figs. 7/8/13): the
+// unified system-wide collectives. Tasks synchronize through the intra-node
+// phaser tree; at the tree root the phase is stitched to the other ranks
+// through the communication worker:
+//
+//   * strict barrier — the phaser master starts the inter-node barrier after
+//     every local signal arrived, waits for the communication task's
+//     notification, then releases the local waiters;
+//   * fuzzy barrier  — the first local arrival starts the inter-node barrier
+//     so it overlaps the intra-node wait phase (the mode Table II shows
+//     winning);
+//   * accumulator    — the locally reduced value is handed to the
+//     communication worker for an inter-node Allreduce and the global result
+//     is published before the next phase starts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/accumulator.h"
+#include "core/phaser.h"
+#include "hcmpi/context.h"
+
+namespace hcmpi {
+
+// PhaserHook implementation that runs the inter-node barrier on the
+// communication worker via a script-based non-blocking collective.
+class InterNodeBarrierHook : public hc::PhaserHook {
+ public:
+  explicit InterNodeBarrierHook(Context& ctx) : ctx_(ctx) {}
+
+  void early_start(std::uint64_t phase) override;
+  void at_boundary(std::uint64_t phase) override;
+
+ private:
+  Context& ctx_;
+  // Banked per phase (mod 4) like the phaser's counters: with signal drift a
+  // fuzzy early_start(P+1) may run while boundary(P) is still waiting on its
+  // own barrier, so a single slot would be clobbered.
+  RequestHandle inflight_[4];
+};
+
+// HCMPI_PHASER_CREATE: an intra-node phaser whose every phase is also an
+// inter-node barrier.
+class HcmpiPhaser {
+ public:
+  HcmpiPhaser(Context& ctx, bool fuzzy, const hc::Phaser::Config& cfg);
+  HcmpiPhaser(Context& ctx, bool fuzzy)
+      : HcmpiPhaser(ctx, fuzzy, hc::Phaser::Config{}) {}
+
+  hc::Phaser& phaser() { return phaser_; }
+  hc::Phaser::Registration* register_task(
+      hc::PhaserMode mode, const hc::Phaser::Registration* registrar = nullptr) {
+    return phaser_.register_task(mode, registrar);
+  }
+  void next(hc::Phaser::Registration* reg) { phaser_.next(reg); }
+  void drop(hc::Phaser::Registration* reg) { phaser_.drop(reg); }
+  std::uint64_t phase() const { return phaser_.phase(); }
+
+ private:
+  InterNodeBarrierHook hook_;
+  hc::Phaser phaser_;
+};
+
+// HCMPI_ACCUM_CREATE: an intra-node phaser accumulator whose per-phase value
+// is globally reduced with an inter-node Allreduce (MPI_Allreduce model).
+template <typename T>
+class HcmpiAccum {
+ public:
+  HcmpiAccum(Context& ctx, hc::ReduceOp op, const hc::Phaser::Config& cfg)
+      : accum_(op, cfg) {
+    accum_.set_allreduce([&ctx, op](T local, std::uint64_t) -> T {
+      T global = local;
+      RequestHandle req = ctx.submit_nb_allreduce(&local, &global, 1,
+                                                  smpi_datatype<T>(),
+                                                  to_smpi_op(op));
+      Context::block_until(req);
+      return global;
+    });
+  }
+  HcmpiAccum(Context& ctx, hc::ReduceOp op)
+      : HcmpiAccum(ctx, op, hc::Phaser::Config{}) {}
+
+  hc::Accumulator<T>& accum() { return accum_; }
+  hc::Phaser::Registration* register_task(
+      hc::PhaserMode mode = hc::PhaserMode::kSignalWait,
+      const hc::Phaser::Registration* registrar = nullptr) {
+    return accum_.register_task(mode, registrar);
+  }
+  void accum_next(hc::Phaser::Registration* reg, T v) {
+    accum_.accum_next(reg, v);
+  }
+  T accum_get(const hc::Phaser::Registration* reg) const {
+    return accum_.accum_get(reg);
+  }
+  void drop(hc::Phaser::Registration* reg) { accum_.drop(reg); }
+
+ private:
+  template <typename U>
+  static constexpr smpi::Datatype smpi_datatype() {
+    if constexpr (std::is_same_v<U, double>) return smpi::Datatype::kDouble;
+    else if constexpr (std::is_same_v<U, float>) return smpi::Datatype::kFloat;
+    else if constexpr (std::is_same_v<U, int>) return smpi::Datatype::kInt;
+    else return smpi::Datatype::kLong;
+  }
+  static constexpr smpi::Op to_smpi_op(hc::ReduceOp op) {
+    switch (op) {
+      case hc::ReduceOp::kSum: return smpi::Op::kSum;
+      case hc::ReduceOp::kProd: return smpi::Op::kProd;
+      case hc::ReduceOp::kMin: return smpi::Op::kMin;
+      case hc::ReduceOp::kMax: return smpi::Op::kMax;
+    }
+    return smpi::Op::kSum;
+  }
+
+  hc::Accumulator<T> accum_;
+};
+
+}  // namespace hcmpi

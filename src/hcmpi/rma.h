@@ -1,0 +1,92 @@
+// Asynchronous one-sided communication for HCMPI — the paper's named future
+// work ("The ongoing and future work include the support for more MPI-like
+// APIs in the HCMPI programming model, including one-sided communication
+// operations", §VI), built the HCMPI way: every RMA operation is a
+// communication task executed by the dedicated communication worker, and the
+// returned request is a DDF that composes with finish and async_await like
+// any other HCMPI request.
+//
+//   hcmpi::HcmpiWindow win(ctx, buf, bytes);      // collective
+//   hc::finish([&]{ win.rput(src, n, target, off); });  // blocking epoch
+//   auto r = win.rget(dst, n, target, off);
+//   hc::async_await({r.get()}, [&]{ consume(dst); });
+//   win.fence();                                  // collective separator
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "hcmpi/context.h"
+#include "smpi/rma.h"
+
+namespace hcmpi {
+
+class HcmpiWindow {
+ public:
+  // Collective: every rank constructs its HcmpiWindow together (in the same
+  // order relative to other collectives). The window lives in the system
+  // communicator's context, executed on the communication worker so window
+  // creation can never interleave wrongly with user collectives.
+  HcmpiWindow(Context& ctx, void* base, std::size_t bytes) : ctx_(ctx) {
+    RequestHandle done = ctx_.post_exec_async([&](smpi::Comm& sys) {
+      win_.emplace(smpi::Window::create(sys, base, bytes));
+    });
+    Context::block_until(done);
+  }
+
+  ~HcmpiWindow() {
+    if (!win_) return;
+    RequestHandle done =
+        ctx_.post_exec_async([&](smpi::Comm&) { win_->free(); });
+    Context::block_until(done);
+  }
+
+  HcmpiWindow(const HcmpiWindow&) = delete;
+  HcmpiWindow& operator=(const HcmpiWindow&) = delete;
+
+  int rank() const { return win_->rank(); }
+  int size() const { return win_->size(); }
+
+  // Asynchronous one-sided ops; the request completes when the transfer has
+  // been performed by the communication worker. Origin buffers must stay
+  // live until then (same rule as isend).
+  RequestHandle rput(const void* origin, std::size_t bytes, int target,
+                     std::size_t target_offset) {
+    return ctx_.post_exec_async([this, origin, bytes, target,
+                                 target_offset](smpi::Comm&) {
+      win_->put(origin, bytes, target, target_offset);
+    });
+  }
+
+  RequestHandle rget(void* origin, std::size_t bytes, int target,
+                     std::size_t target_offset) {
+    return ctx_.post_exec_async([this, origin, bytes, target,
+                                 target_offset](smpi::Comm&) {
+      win_->get(origin, bytes, target, target_offset);
+    });
+  }
+
+  RequestHandle raccumulate(const void* origin, std::size_t count,
+                            smpi::Datatype t, smpi::Op op, int target,
+                            std::size_t target_offset) {
+    return ctx_.post_exec_async([this, origin, count, t, op, target,
+                                 target_offset](smpi::Comm&) {
+      win_->accumulate(origin, count, t, op, target, target_offset);
+    });
+  }
+
+  // Collective epoch separator: all RMA issued before the fence (on any
+  // rank) is complete and visible after it. Blocking, like the paper's
+  // collectives.
+  void fence() {
+    RequestHandle done =
+        ctx_.post_exec_async([&](smpi::Comm&) { win_->fence(); });
+    Context::block_until(done);
+  }
+
+ private:
+  Context& ctx_;
+  std::optional<smpi::Window> win_;
+};
+
+}  // namespace hcmpi

@@ -1,0 +1,75 @@
+// Deterministic discrete-event simulation engine over virtual nanoseconds.
+//
+// All performance results in this repository (EXPERIMENTS.md) are produced
+// here, in virtual time, because the paper's testbeds (1024-node Jaguar,
+// 96-node DAVinCI) cannot be re-run and the 1-core build host cannot time
+// 16,384 software threads meaningfully. Events with equal timestamps fire in
+// insertion order, so runs are bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace sim {
+
+using Time = std::uint64_t;  // virtual nanoseconds
+
+inline constexpr Time kMicrosecond = 1000;
+inline constexpr Time kMillisecond = 1000 * 1000;
+inline constexpr Time kSecond = 1000ull * 1000 * 1000;
+
+class Engine {
+ public:
+  using Fn = std::function<void()>;
+
+  Time now() const { return now_; }
+
+  void at(Time t, Fn fn) {
+    heap_.push(Event{t < now_ ? now_ : t, seq_++, std::move(fn)});
+  }
+  void after(Time dt, Fn fn) { at(now_ + dt, std::move(fn)); }
+
+  // Executes one event; false when the queue is empty.
+  bool step() {
+    if (heap_.empty()) return false;
+    // priority_queue::top() is const; the handler is moved out via the
+    // mutable member.
+    const Event& top = heap_.top();
+    now_ = top.t;
+    Fn fn = std::move(top.fn);
+    heap_.pop();
+    ++processed_;
+    fn();
+    return true;
+  }
+
+  // Runs to quiescence (or until `limit` events, 0 = unlimited).
+  void run(std::uint64_t limit = 0) {
+    std::uint64_t n = 0;
+    while (step()) {
+      if (limit != 0 && ++n >= limit) return;
+    }
+  }
+
+  std::uint64_t events_processed() const { return processed_; }
+  bool empty() const { return heap_.empty(); }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    mutable Fn fn;
+    bool operator>(const Event& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace sim

@@ -1,0 +1,36 @@
+#include "sim/machine.h"
+
+namespace sim {
+
+MachineConfig jaguar() {
+  MachineConfig m;
+  m.name = "jaguar";
+  // Gemini: higher small-message latency than QDR IB, much higher wire
+  // bandwidth (Fig. 15a tops out near 45 Gbit/s vs 24 on DAVinCI).
+  m.net_latency = 1900;
+  m.net_byte_ns = 0.18;  // ~5.5 GB/s
+  m.nic_gap = 380;
+  m.mpi_call = 340;
+  m.mpi_lock_hold = 300;
+  m.mpi_lock_contended = 1500;
+  m.thread2_anomaly = 14.0;  // the paper's repeatable 2-thread dip on Jaguar
+  m.cores_per_node = 16;
+  return m;
+}
+
+MachineConfig davinci() {
+  MachineConfig m;
+  m.name = "davinci";
+  // QDR InfiniBand with MVAPICH2: ~24 Gbit/s effective, sub-2 µs latency.
+  m.net_latency = 1400;
+  m.net_byte_ns = 0.33;  // ~3 GB/s
+  m.nic_gap = 260;
+  m.mpi_call = 280;
+  m.mpi_lock_hold = 260;
+  m.mpi_lock_contended = 950;
+  m.thread2_anomaly = 1.0;
+  m.cores_per_node = 12;
+  return m;
+}
+
+}  // namespace sim

@@ -1,0 +1,67 @@
+// Machine parameter sets for the simulator. Two presets mirror the paper's
+// testbeds:
+//
+//   * jaguar()  — Cray XK6, Gemini interconnect, 16 cores/node, MPICH2
+//   * davinci() — IBM iDataPlex, QDR InfiniBand, 12 cores/node, MVAPICH2
+//
+// The numbers are calibrated so the *magnitudes* land in the ranges the
+// paper reports (e.g. Table II collectives in the 2–27 µs band, Fig. 14c
+// latencies in tens of µs) — EXPERIMENTS.md compares shapes, not absolute
+// hardware truth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/engine.h"
+
+namespace sim {
+
+struct MachineConfig {
+  std::string name;
+
+  // --- interconnect (LogGP-flavored) ---
+  Time net_latency = 1500;        // alpha: one-way inter-node latency (ns)
+  double net_byte_ns = 0.25;      // 1/beta: ns per byte (4 GB/s)
+  Time nic_gap = 300;             // per-message NIC occupancy (ns)
+
+  // --- MPI software costs ---
+  Time mpi_call = 300;            // base cost of an MPI call (ns)
+  Time mpi_lock_hold = 250;       // THREAD_MULTIPLE: lock hold per call
+  Time mpi_lock_contended = 900;  // extra cost when another thread holds it
+  // Some MPICH2/Gemini builds showed a pathological T=2 mode in the paper
+  // (Fig. 15b/c); the knob reproduces that documented anomaly.
+  double thread2_anomaly = 1.0;
+
+  // --- intra-node costs ---
+  Time task_spawn = 120;       // async task creation
+  Time deque_pop = 40;
+  Time intra_steal = 200;      // shared-memory steal, no victim involvement
+  Time omp_barrier_base = 450;    // OpenMP barrier: a + b*log2(threads)
+  Time omp_barrier_log = 280;
+  Time phaser_leaf = 120;         // phaser tree: per-level signal cost
+  Time phaser_release = 250;      // master's wake of waiters
+  Time comm_task_enqueue = 90;    // worklist push to communication worker
+  Time comm_task_dispatch = 250;  // communication worker issue + test
+
+  // --- hybrid MPI+OpenMP baseline ---
+  double hybrid_lock_factor = 0.05;  // shared-queue slowdown per extra thread
+
+  // --- Smith–Waterman workload ---
+  Time sw_cell_work = 2;  // ns per dynamic-programming cell
+
+  // --- UTS workload ---
+  Time uts_node_work = 900;    // SHA-1 hash + bookkeeping per tree node
+  Time uts_poll = 350;         // MPI progress poll every -i nodes
+  Time uts_respond = 600;      // service a steal request (pack + send)
+  Time uts_search_iter = 2500; // thief retry cadence while searching
+  Time uts_search_cap = 15000; // retry backoff ceiling (keeps fail storms
+                               // from melting the event queue at 16K ranks)
+
+  int cores_per_node = 16;
+};
+
+MachineConfig jaguar();
+MachineConfig davinci();
+
+}  // namespace sim

@@ -1,0 +1,60 @@
+#include "sim/mpi_cost.h"
+
+#include <algorithm>
+
+namespace sim {
+
+Time dissemination_barrier(const MachineConfig& m, int ranks, int cores,
+                           Time software_overhead) {
+  std::vector<Time> t(std::size_t(ranks), 0);
+  for (int dist = 1; dist < ranks; dist <<= 1) {
+    std::vector<Time> next(std::size_t(ranks), Time{0});
+    for (int r = 0; r < ranks; ++r) {
+      int src = (r - dist % ranks + ranks) % ranks;
+      // Exit the round when both our send is issued and the peer's message
+      // (sent at its round-entry time) has arrived.
+      Time msg_arrival = t[std::size_t(src)] + software_overhead +
+                         hop_latency(m, cores, src, r);
+      next[std::size_t(r)] =
+          std::max(t[std::size_t(r)] + software_overhead, msg_arrival);
+    }
+    t = std::move(next);
+  }
+  return *std::max_element(t.begin(), t.end());
+}
+
+Time binomial_allreduce(const MachineConfig& m, int ranks, int cores,
+                        Time software_overhead, std::uint64_t bytes) {
+  std::vector<Time> t(std::size_t(ranks), 0);
+  Time payload = Time(double(bytes) * m.net_byte_ns);
+  // Reduce toward rank 0: at mask step, rank r (r & mask set) sends to
+  // r - mask; receiver continues once the contribution arrived + combine.
+  for (int mask = 1; mask < ranks; mask <<= 1) {
+    for (int r = 0; r < ranks; ++r) {
+      if (r & mask) continue;
+      int child = r + mask;
+      if (child >= ranks) continue;
+      Time arrival = t[std::size_t(child)] + software_overhead +
+                     hop_latency(m, cores, child, r) + payload;
+      t[std::size_t(r)] =
+          std::max(t[std::size_t(r)] + software_overhead, arrival);
+    }
+  }
+  // Bcast from rank 0 back down the same tree.
+  int top = 1;
+  while (top < ranks) top <<= 1;
+  for (int mask = top >> 1; mask > 0; mask >>= 1) {
+    for (int r = 0; r < ranks; ++r) {
+      if (r & (mask - 1)) continue;    // not active at this level
+      if (r & mask) continue;          // receiver, not sender
+      int dst = r + mask;
+      if (dst >= ranks) continue;
+      t[std::size_t(dst)] = std::max(
+          t[std::size_t(dst)], t[std::size_t(r)] + software_overhead +
+                                   hop_latency(m, cores, r, dst) + payload);
+    }
+  }
+  return *std::max_element(t.begin(), t.end());
+}
+
+}  // namespace sim

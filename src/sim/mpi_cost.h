@@ -1,0 +1,59 @@
+// MPI software cost models shared by the micro-benchmark and syncbench
+// simulators:
+//
+//   * MpiLock — the per-process big lock of MPI_THREAD_MULTIPLE. Every call
+//     serializes on it; contended acquisitions pay an escalating price. This
+//     is the mechanism behind the paper's "multi-threaded MPI ... typically
+//     performs worse than single-threaded MPI due to added synchronization
+//     costs" (§IV-A).
+//   * collective recurrences — per-rank completion-time recurrences for a
+//     dissemination barrier and a binomial-tree allreduce over an arbitrary
+//     rank→node placement, so intra-node hops are cheaper than inter-node
+//     ones exactly as on the real machines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace sim {
+
+struct MpiLock {
+  Time free_at = 0;
+
+  // One MPI call issued at `now` by one of `concurrent` actively calling
+  // threads. Returns the completion time and advances lock occupancy.
+  Time call(Time now, const MachineConfig& m, int concurrent) {
+    Time start = now > free_at ? now : free_at;
+    Time hold = m.mpi_call + m.mpi_lock_hold;
+    if (concurrent > 1) {
+      hold += Time(double(m.mpi_lock_contended) * double(concurrent - 1));
+    }
+    free_at = start + hold;
+    return free_at;
+  }
+};
+
+// Latency of one hop between ranks under a block placement of
+// `cores` ranks per node. Inter-node hops include the NIC serialization of
+// `cores` co-located ranks all injecting in the same collective round — the
+// effect that makes "MPI everywhere" degrade as cores/node grows (Table II).
+inline Time hop_latency(const MachineConfig& m, int cores, int r1, int r2) {
+  if (r1 / cores == r2 / cores) return Time(400);
+  return m.net_latency + m.nic_gap +
+         Time(double(m.nic_gap) * double(cores - 1) / 2.0);
+}
+
+// Completion time (max over ranks) of a dissemination barrier over `ranks`
+// ranks placed `cores` per node. `software_overhead` is charged per round on
+// every rank (an MPI call, or a communication-worker dispatch).
+Time dissemination_barrier(const MachineConfig& m, int ranks, int cores,
+                           Time software_overhead);
+
+// Completion time of a binomial reduce-to-0 + binomial bcast (allreduce) of
+// a small payload over the same placement.
+Time binomial_allreduce(const MachineConfig& m, int ranks, int cores,
+                        Time software_overhead, std::uint64_t bytes);
+
+}  // namespace sim

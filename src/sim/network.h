@@ -1,0 +1,49 @@
+// LogGP-style interconnect model: a message from node s to node d becomes
+// available at the destination at
+//
+//   depart = max(now, nic_free[s]) ;  nic_free[s] = depart + gap
+//   arrive = depart + alpha + bytes / beta        (inter-node)
+//   arrive = depart + alpha_intra + bytes * ...   (same node: memcpy-ish)
+//
+// The per-source NIC serialization is what makes many small messages (the
+// message-rate micro-benchmark, UTS steal storms) behave like the paper's
+// measurements instead of like infinite-bandwidth teleportation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/machine.h"
+
+namespace sim {
+
+class Network {
+ public:
+  Network(const MachineConfig& cfg, int nodes)
+      : cfg_(cfg), nic_free_(std::size_t(nodes), 0) {}
+
+  // Computes the arrival time of a message sent at `now`, updating the
+  // sender's NIC occupancy.
+  Time send(Time now, int src_node, int dst_node, std::uint64_t bytes) {
+    Time depart = std::max(now, nic_free_[std::size_t(src_node)]);
+    nic_free_[std::size_t(src_node)] = depart + cfg_.nic_gap;
+    ++messages_;
+    traffic_bytes_ += bytes;
+    if (src_node == dst_node) {
+      return depart + 120 + Time(double(bytes) * 0.05);  // shared memory
+    }
+    return depart + cfg_.net_latency + Time(double(bytes) * cfg_.net_byte_ns);
+  }
+
+  std::uint64_t messages() const { return messages_; }
+  std::uint64_t traffic_bytes() const { return traffic_bytes_; }
+
+ private:
+  const MachineConfig& cfg_;
+  std::vector<Time> nic_free_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t traffic_bytes_ = 0;
+};
+
+}  // namespace sim

@@ -1,0 +1,198 @@
+#include "sim/sw_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/network.h"
+
+namespace sim {
+
+namespace {
+
+// Owner of outer tile (r, c) under the configured distribution.
+int owner(const SwSimConfig& cfg, int r, int c) {
+  if (cfg.dist == SwDist::kCyclicColumn) return c % cfg.nodes;
+  // Banded diagonals (paper §IV-C): measure each anti-diagonal and hand
+  // contiguous chunks to nodes — bands perpendicular to the wavefront.
+  int d = r + c;
+  int lo = std::max(0, d - (cfg.outer_cols - 1));
+  int hi = std::min(d, cfg.outer_rows - 1);
+  int len = hi - lo + 1;
+  int pos = r - lo;
+  return std::min(cfg.nodes - 1, pos * cfg.nodes / std::max(1, len));
+}
+
+Time inner_cost(const MachineConfig& m, const SwSimConfig& cfg) {
+  return Time(double(cfg.cells_per_inner) * double(m.sw_cell_work));
+}
+
+std::uint64_t boundary_bytes(const SwSimConfig& cfg) {
+  // One inner-tile edge of int H-values.
+  std::uint64_t edge_cells =
+      std::uint64_t(std::sqrt(double(cfg.cells_per_inner)));
+  return edge_cells * 4 + 16;
+}
+
+}  // namespace
+
+// ===========================================================================
+// DDDF dataflow execution: global inner-tile wavefront, no barriers.
+// ===========================================================================
+
+SwResult run_sw_dddf(const MachineConfig& m, const SwSimConfig& cfg) {
+  const int gh = cfg.outer_rows * cfg.inner;
+  const int gw = cfg.outer_cols * cfg.inner;
+  const int workers = std::max(1, cfg.cores - 1);
+  const Time cost = inner_cost(m, cfg);
+  const std::uint64_t bbytes = boundary_bytes(cfg);
+
+  Engine eng;
+  Network net(m, cfg.nodes);
+
+  auto idx = [gw](int i, int j) { return std::size_t(i) * std::size_t(gw) + std::size_t(j); };
+  auto tile_owner = [&](int i, int j) {
+    return owner(cfg, i / cfg.inner, j / cfg.inner);
+  };
+
+  std::vector<std::uint8_t> deps_left(std::size_t(gh) * std::size_t(gw));
+  std::vector<Time> ready_at(std::size_t(gh) * std::size_t(gw), 0);
+  // Per node: min-heap of worker free times.
+  std::vector<std::priority_queue<Time, std::vector<Time>, std::greater<>>>
+      free_heap(std::size_t(cfg.nodes));
+  for (int n = 0; n < cfg.nodes; ++n) {
+    for (int w = 0; w < workers; ++w) free_heap[std::size_t(n)].push(0);
+  }
+
+  std::uint64_t messages = 0;
+  Time makespan = 0;
+
+  // Forward declaration dance via std::function (the DES closures recurse).
+  std::function<void(int, int)> start_tile;
+  std::function<void(int, int, Time)> on_input;
+
+  auto finish_tile = [&](int i, int j, Time t) {
+    makespan = std::max(makespan, t);
+    const int self = tile_owner(i, j);
+    // Feed the three dependents; cross-node edges ride the network through
+    // the communication worker (a small dispatch charge), local edges are a
+    // DDF put.
+    auto feed = [&](int di, int dj) {
+      if (di >= gh || dj >= gw) return;
+      int dst = tile_owner(di, dj);
+      Time avail = t;
+      if (dst != self) {
+        avail = net.send(t + m.comm_task_enqueue, self, dst, bbytes) +
+                m.comm_task_dispatch;
+        ++messages;
+      }
+      eng.at(avail, [&, di, dj, avail] { on_input(di, dj, avail); });
+    };
+    feed(i + 1, j);
+    feed(i, j + 1);
+    feed(i + 1, j + 1);
+  };
+
+  start_tile = [&](int i, int j) {
+    int n = tile_owner(i, j);
+    auto& heap = free_heap[std::size_t(n)];
+    Time wfree = heap.top();
+    heap.pop();
+    Time start = std::max(ready_at[idx(i, j)], wfree) + m.task_spawn;
+    Time end = start + cost;
+    heap.push(end);
+    eng.at(end, [&, i, j, end] { finish_tile(i, j, end); });
+  };
+
+  on_input = [&](int i, int j, Time t) {
+    std::size_t k = idx(i, j);
+    ready_at[k] = std::max(ready_at[k], t);
+    if (--deps_left[k] == 0) start_tile(i, j);
+  };
+
+  for (int i = 0; i < gh; ++i) {
+    for (int j = 0; j < gw; ++j) {
+      deps_left[idx(i, j)] =
+          std::uint8_t((i > 0) + (j > 0) + (i > 0 && j > 0));
+    }
+  }
+  eng.at(0, [&] { start_tile(0, 0); });
+  eng.run();
+
+  SwResult out;
+  out.time_s = double(makespan) / 1e9;
+  out.boundary_messages = messages;
+  out.sim_events = eng.events_processed();
+  return out;
+}
+
+// ===========================================================================
+// MPI+OpenMP fork-join: barriers between outer diagonals.
+// ===========================================================================
+
+SwResult run_sw_hybrid(const MachineConfig& m, const SwSimConfig& cfg) {
+  const int threads = cfg.cores;  // no dedicated communication worker
+  const Time icost = inner_cost(m, cfg);
+  const std::uint64_t bbytes = boundary_bytes(cfg);
+
+  // Inner-wavefront efficiency of one outer tile on `threads` workers: exact
+  // greedy makespan of the inner diagonal schedule.
+  auto tile_time = [&](int t) {
+    std::uint64_t units = 0;
+    for (int d = 0; d < 2 * cfg.inner - 1; ++d) {
+      int len = std::min({d + 1, cfg.inner, 2 * cfg.inner - 1 - d});
+      units += std::uint64_t((len + t - 1) / t);
+    }
+    return Time(units) * icost + m.omp_barrier_base;  // fork/join overhead
+  };
+  const Time outer_cost = tile_time(threads);
+
+  // Outer diagonals execute in lockstep.
+  Time clock = 0;
+  std::uint64_t messages = 0;
+  const Time omp_bar =
+      m.omp_barrier_base +
+      Time(double(m.omp_barrier_log) * std::log2(std::max(2, threads)));
+  std::vector<int> per_node(std::size_t(cfg.nodes));
+  for (int d = 0; d < cfg.outer_rows + cfg.outer_cols - 1; ++d) {
+    std::fill(per_node.begin(), per_node.end(), 0);
+    int lo = std::max(0, d - (cfg.outer_cols - 1));
+    int hi = std::min(d, cfg.outer_rows - 1);
+    int boundary_msgs = 0;
+    for (int r = lo; r <= hi; ++r) {
+      int c = d - r;
+      int self = owner(cfg, r, c);
+      ++per_node[std::size_t(self)];
+      // After the region, boundaries go to the right/down/diag neighbours.
+      if (c + 1 < cfg.outer_cols && owner(cfg, r, c + 1) != self)
+        ++boundary_msgs;
+      if (r + 1 < cfg.outer_rows && owner(cfg, r + 1, c) != self)
+        ++boundary_msgs;
+    }
+    int busiest = *std::max_element(per_node.begin(), per_node.end());
+    // Compute region: busiest node serializes its tiles; then the implicit
+    // OpenMP barrier; then communication happens after the threads are done
+    // (paper: no overlap), serialized through each node's NIC; then the
+    // inter-diagonal MPI exchange acts as a barrier.
+    clock += Time(busiest) * outer_cost + omp_bar;
+    Time comm = boundary_msgs > 0
+                    ? m.net_latency +
+                          Time(double(bbytes * std::uint64_t(cfg.inner)) *
+                               m.net_byte_ns) +
+                          Time(boundary_msgs / std::max(1, cfg.nodes)) *
+                              m.nic_gap
+                    : 0;
+    clock += comm + m.mpi_call;
+    messages += std::uint64_t(boundary_msgs) * std::uint64_t(cfg.inner);
+  }
+
+  SwResult out;
+  out.time_s = double(clock) / 1e9;
+  out.boundary_messages = messages;
+  out.sim_events = 0;  // closed-form lockstep model
+  return out;
+}
+
+}  // namespace sim

@@ -1,0 +1,47 @@
+// Distributed Smith–Waterman on the simulated cluster (paper §IV-C,
+// Figs. 24/25, Table IV).
+//
+// The matrix is tiled hierarchically (Fig. 23): outer tiles are distributed
+// across nodes (their right column / bottom row / corner are the DDDF
+// payloads), each outer tile is a block of inner tiles scheduled on the
+// node's computation workers.
+//
+//   * run_sw_dddf   — dataflow execution: an inner tile runs the moment its
+//     three inputs exist on its node; no barriers anywhere; cross-node
+//     boundaries travel through the communication worker (cores−1 workers
+//     compute). Distribution: banded diagonals (the paper's best).
+//   * run_sw_hybrid — MPI+OpenMP fork-join: all tiles of an outer diagonal
+//     compute inside an OpenMP region, then an implicit barrier, then the
+//     boundary exchange, then the next diagonal ("the fork/join nature of
+//     MPI+OpenMP requires implicit barriers between diagonals"). All cores
+//     compute. Distribution: cyclic columns (the paper's best for hybrid).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/machine.h"
+
+namespace sim {
+
+enum class SwDist { kBandedDiagonal, kCyclicColumn };
+
+struct SwSimConfig {
+  int outer_rows = 40;   // outer tile grid
+  int outer_cols = 40;
+  int inner = 8;                        // inner tiles per outer tile side
+  std::uint64_t cells_per_inner = 200'000;  // DP cells per inner tile
+  int nodes = 8;
+  int cores = 8;  // per node; DDDF dedicates one as communication worker
+  SwDist dist = SwDist::kBandedDiagonal;
+};
+
+struct SwResult {
+  double time_s = 0;
+  std::uint64_t boundary_messages = 0;  // inter-node transfers
+  std::uint64_t sim_events = 0;
+};
+
+SwResult run_sw_dddf(const MachineConfig& m, const SwSimConfig& cfg);
+SwResult run_sw_hybrid(const MachineConfig& m, const SwSimConfig& cfg);
+
+}  // namespace sim

@@ -1,0 +1,81 @@
+#include "sim/syncbench.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/mpi_cost.h"
+
+namespace sim {
+
+namespace {
+
+double log2i(int n) { return n <= 1 ? 0.0 : std::log2(double(n)); }
+
+// OpenMP barrier over `cores` threads: a + b*log2(C).
+Time omp_barrier(const MachineConfig& m, int cores) {
+  return m.omp_barrier_base + Time(double(m.omp_barrier_log) * log2i(cores));
+}
+
+// Phaser tree gather over `cores` tasks (radix 4) plus the master's release.
+Time phaser_gather(const MachineConfig& m, int cores) {
+  int levels = 1;
+  int span = 4;
+  while (span < cores) {
+    ++levels;
+    span *= 4;
+  }
+  return Time(double(m.phaser_leaf) * double(levels) * 2.0);
+}
+
+}  // namespace
+
+SyncbenchRow syncbench(const MachineConfig& m, int nodes, int cores) {
+  SyncbenchRow row;
+  row.nodes = nodes;
+  row.cores = cores;
+
+  const Time mpi_ovh = m.mpi_call + m.mpi_lock_hold / 4;
+
+  // --- MPI only: every core is a rank -------------------------------------
+  row.mpi_barrier_us =
+      double(dissemination_barrier(m, nodes * cores, cores, mpi_ovh)) / 1e3;
+  row.mpi_reduction_us =
+      double(binomial_allreduce(m, nodes * cores, cores, mpi_ovh, 8)) / 1e3;
+
+  // --- hybrid MPI+OpenMP: one rank per node -------------------------------
+  const Time inter_barrier =
+      dissemination_barrier(m, nodes, /*cores=*/1, mpi_ovh);
+  const Time inter_allreduce =
+      binomial_allreduce(m, nodes, /*cores=*/1, mpi_ovh, 8);
+  const Time omp = omp_barrier(m, cores);
+  row.hybrid_barrier_strict_us = double(omp + inter_barrier + omp) / 1e3;
+  // Fuzzy: threads go straight to the departure barrier; the MPI barrier is
+  // issued as soon as the master arrives, overlapping the stragglers.
+  row.hybrid_barrier_fuzzy_us =
+      double(std::max(inter_barrier, omp) + omp / 2) / 1e3;
+  // Reduction: OpenMP for-reduction (combine + implicit barrier), one-thread
+  // MPI_Allreduce, departure barrier.
+  const Time omp_combine = omp + Time(40 * cores);
+  row.hybrid_reduction_us = double(omp_combine + inter_allreduce + omp) / 1e3;
+
+  // --- HCMPI: phaser tree + communication worker --------------------------
+  const Time comm_hop = m.comm_task_enqueue + m.comm_task_dispatch;
+  const Time gather = phaser_gather(m, cores);
+  const Time inter_nb =
+      dissemination_barrier(m, nodes, /*cores=*/1, m.comm_task_dispatch);
+  row.hcmpi_phaser_strict_us =
+      double(gather + comm_hop + inter_nb + m.phaser_release) / 1e3;
+  // Fuzzy: the first arrival launches the inter-node barrier, so the tree
+  // gather and the network phase overlap (paper §III-A).
+  row.hcmpi_phaser_fuzzy_us =
+      double(std::max(gather, comm_hop + inter_nb) + m.phaser_release) / 1e3;
+  const Time inter_nb_allreduce =
+      binomial_allreduce(m, nodes, /*cores=*/1, m.comm_task_dispatch, 8);
+  row.hcmpi_accumulator_us =
+      double(gather + Time(30 * cores) + comm_hop + inter_nb_allreduce +
+             m.phaser_release) /
+      1e3;
+  return row;
+}
+
+}  // namespace sim

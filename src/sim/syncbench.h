@@ -1,0 +1,36 @@
+// EPCC-syncbench-style collective synchronization model (paper Table II):
+// barrier and reduction times for
+//
+//   * MPI only            — one rank per core, dissemination barrier /
+//                           binomial allreduce over nodes×cores ranks;
+//   * MPI+OpenMP hybrid   — one rank per node; OpenMP barrier, MPI collective
+//                           by one thread, OpenMP barrier (strict) or skip
+//                           the arrival barrier (fuzzy);
+//   * HCMPI               — one process per node; tree phaser intra-node,
+//                           communication-worker inter-node barrier
+//                           (strict/fuzzy) and accumulator + Allreduce.
+//
+// Expected ordering (checked by EXPERIMENTS.md): HCMPI < hybrid < MPI, fuzzy
+// < strict, and the gap grows with cores/node — exactly Table II's shape.
+#pragma once
+
+#include "sim/machine.h"
+
+namespace sim {
+
+struct SyncbenchRow {
+  int nodes = 0;
+  int cores = 0;
+  double mpi_barrier_us = 0;
+  double hybrid_barrier_strict_us = 0;
+  double hcmpi_phaser_strict_us = 0;
+  double hybrid_barrier_fuzzy_us = 0;
+  double hcmpi_phaser_fuzzy_us = 0;
+  double mpi_reduction_us = 0;
+  double hybrid_reduction_us = 0;
+  double hcmpi_accumulator_us = 0;
+};
+
+SyncbenchRow syncbench(const MachineConfig& m, int nodes, int cores);
+
+}  // namespace sim

@@ -1,0 +1,36 @@
+// Models of the ANL multi-threaded MPI test suite (paper §IV-A, Figs. 14/15):
+// two processes on two nodes; T threads per process (pthreads +
+// MPI_THREAD_MULTIPLE) vs. HCMPI with T computation workers funneling
+// through one communication worker (MPI_THREAD_SINGLE).
+//
+// These are steady-state throughput/latency models over the MachineConfig
+// parameters (lock serialization, NIC gap, wire bandwidth): closed-form
+// because the benchmarks measure steady state, with the same three outputs
+// the paper plots — bandwidth (Gbit/s), message rate (M msg/s), latency (µs
+// per message for payloads 0..1024 B).
+#pragma once
+
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace sim {
+
+struct ThreadMicroResult {
+  int threads = 1;
+  double mpi_bandwidth_gbits = 0;
+  double hcmpi_bandwidth_gbits = 0;
+  double mpi_msg_rate_m = 0;    // million messages / s
+  double hcmpi_msg_rate_m = 0;
+  std::vector<double> mpi_latency_us;    // one per payload size
+  std::vector<double> hcmpi_latency_us;
+};
+
+inline const std::vector<int>& latency_sizes() {
+  static const std::vector<int> kSizes{0, 64, 128, 192, 256, 512, 768, 1024};
+  return kSizes;
+}
+
+ThreadMicroResult thread_micro(const MachineConfig& m, int threads);
+
+}  // namespace sim

@@ -1,0 +1,67 @@
+// Shared pieces of the UTS workload simulators: the fast counter-hash node
+// stream (distribution-identical to the SHA-1 stream via
+// uts::children_from_uniform) and the bookkeeping every variant needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/uts/uts.h"
+#include "sim/engine.h"
+#include "sim/network.h"
+#include "support/rng.h"
+
+namespace sim {
+
+struct FastNode {
+  std::uint64_t hash;
+  std::int32_t depth;
+};
+
+inline FastNode fast_root(const uts::Params& p) {
+  return {support::SplitMix64::mix(0x5EED5EEDull + p.root_seed), 0};
+}
+
+inline FastNode fast_child(const FastNode& parent, std::uint32_t i) {
+  return {support::SplitMix64::mix(parent.hash ^
+                                   ((std::uint64_t(i) + 1) *
+                                    0x9E3779B97F4A7C15ull)),
+          parent.depth + 1};
+}
+
+inline double fast_uniform(std::uint64_t h) {
+  return double(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+inline int fast_children(const FastNode& n, const uts::Params& p) {
+  return uts::children_from_uniform(fast_uniform(n.hash), n.depth, p);
+}
+
+// Global exploration bookkeeping: `live` counts nodes that exist in some
+// stack or are in flight inside a steal reply; the run is over the moment it
+// hits zero (an omniscient stand-in for the token-ring termination detector,
+// whose cost the paper's comparison explicitly excludes as "idle" time).
+struct UtsGlobal {
+  std::int64_t live = 1;
+  bool done = false;
+  Time finish = 0;
+  std::uint64_t explored = 0;
+  std::uint64_t fails = 0;
+  std::uint64_t succ = 0;
+
+  void expanded(Time now, int children) {
+    live += children - 1;
+    ++explored;
+    if (live == 0) {
+      done = true;
+      finish = now;
+    }
+  }
+};
+
+// Wire sizes for the steal protocol.
+inline constexpr std::uint64_t kStealRequestBytes = 16;
+inline constexpr std::uint64_t kStealFailBytes = 8;
+inline constexpr std::uint64_t kNodeWireBytes = 24;
+
+}  // namespace sim

@@ -1,0 +1,214 @@
+#include "sim/uts_hybrid.h"
+
+#include <algorithm>
+
+#include "sim/uts_common.h"
+
+namespace sim {
+
+namespace {
+
+struct HybridSim {
+  const MachineConfig& m;
+  const UtsSimConfig& cfg;
+  Engine eng;
+  Network net;
+  UtsGlobal g;
+  support::Xoshiro256 rng;
+
+  struct NodeActor {
+    std::vector<FastNode> stack;
+    std::vector<int> pending_thieves;  // answered at poll boundaries
+    bool computing = false;
+    bool searching = false;            // threads parked at cancellable barrier
+    std::uint64_t search_gen = 0;
+    Time search_start = 0;
+    Time retry_delay = 0;
+    Time work_ns = 0, ovh_ns = 0, search_ns = 0;
+  };
+  std::vector<NodeActor> nodes;
+  int threads;
+  Time node_cost;  // per-node work inflated by shared-queue lock contention
+
+  HybridSim(const MachineConfig& mc, const UtsSimConfig& c)
+      : m(mc), cfg(c), net(mc, c.nodes),
+        rng(c.seed * 0xA24BAED4963EE407ull + 5), nodes(std::size_t(c.nodes)),
+        threads(c.cores_per_node) {
+    double contention = 1.0 + m.hybrid_lock_factor * double(threads - 1);
+    node_cost = Time(double(m.uts_node_work) * contention);
+  }
+
+  void quantum(int n);
+  void start_search(int n);
+  void search_iter(int n, std::uint64_t gen);
+  void on_steal_request(int victim, int thief);
+  void on_fail(int n, std::uint64_t gen);
+  void on_work(int n, std::vector<FastNode> loot);
+
+  UtsProfile run();
+};
+
+void HybridSim::quantum(int n) {
+  NodeActor& a = nodes[std::size_t(n)];
+  a.computing = false;
+  if (g.done) return;
+  int budget = threads * cfg.poll_interval;
+  int done_nodes = 0;
+  while (!a.stack.empty() && done_nodes < budget) {
+    FastNode node = a.stack.back();
+    a.stack.pop_back();
+    int k = fast_children(node, cfg.tree);
+    for (int i = 0; i < k; ++i) {
+      a.stack.push_back(fast_child(node, std::uint32_t(i)));
+    }
+    g.expanded(eng.now(), k);
+    ++done_nodes;
+  }
+  Time wall = Time((done_nodes + threads - 1) / threads) * node_cost;
+  a.work_ns += Time(done_nodes) * node_cost;
+  // Poll boundary: one thread services MPI (requests queued since last poll).
+  Time ovh = m.uts_poll;
+  Time when = eng.now() + wall + m.uts_poll;
+  for (int thief : a.pending_thieves) {
+    NodeActor& v = a;
+    if (int(v.stack.size()) > cfg.chunk) {
+      std::vector<FastNode> loot(v.stack.begin(),
+                                 v.stack.begin() + cfg.chunk);
+      v.stack.erase(v.stack.begin(), v.stack.begin() + cfg.chunk);
+      Time arrive = net.send(when, n, thief, cfg.chunk * kNodeWireBytes);
+      ++g.succ;
+      eng.at(arrive, [this, thief, loot = std::move(loot)]() mutable {
+        on_work(thief, std::move(loot));
+      });
+    } else {
+      Time arrive = net.send(when, n, thief, kStealFailBytes);
+      std::uint64_t gen = nodes[std::size_t(thief)].search_gen;
+      eng.at(arrive, [this, thief, gen] { on_fail(thief, gen); });
+    }
+    ovh += m.uts_respond;
+    when += m.uts_respond;
+  }
+  a.pending_thieves.clear();
+  a.ovh_ns += ovh;
+  Time next = eng.now() + wall + ovh;
+  if (g.done) return;
+  if (!a.stack.empty()) {
+    a.computing = true;
+    eng.at(next, [this, n] { quantum(n); });
+  } else {
+    eng.at(next, [this, n] { start_search(n); });
+  }
+}
+
+void HybridSim::start_search(int n) {
+  NodeActor& a = nodes[std::size_t(n)];
+  if (g.done || a.searching || !a.stack.empty()) return;
+  a.searching = true;
+  ++a.search_gen;
+  a.search_start = eng.now();
+  a.retry_delay = m.uts_search_iter;
+  // Threads funnel into the cancellable barrier; entry costs one OpenMP
+  // barrier's worth of synchronization.
+  a.ovh_ns += m.omp_barrier_base +
+              Time(double(m.omp_barrier_log) * (threads > 1 ? 1.0 : 0.0) *
+                   double(threads));
+  for (int thief : a.pending_thieves) {
+    Time arrive = net.send(eng.now(), n, thief, kStealFailBytes);
+    std::uint64_t gen = nodes[std::size_t(thief)].search_gen;
+    eng.at(arrive, [this, thief, gen] { on_fail(thief, gen); });
+  }
+  a.pending_thieves.clear();
+  search_iter(n, a.search_gen);
+}
+
+void HybridSim::search_iter(int n, std::uint64_t gen) {
+  NodeActor& a = nodes[std::size_t(n)];
+  if (g.done || !a.searching || a.search_gen != gen) return;
+  if (cfg.nodes < 2) return;
+  int victim = int(rng.next_below(std::uint64_t(cfg.nodes - 1)));
+  if (victim >= n) ++victim;
+  Time arrive = net.send(eng.now(), n, victim, kStealRequestBytes);
+  eng.at(arrive, [this, victim, n] { on_steal_request(victim, n); });
+}
+
+void HybridSim::on_steal_request(int victim, int thief) {
+  NodeActor& v = nodes[std::size_t(victim)];
+  if (g.done) return;
+  if (v.searching || v.stack.empty()) {
+    Time arrive = net.send(eng.now(), victim, thief, kStealFailBytes);
+    std::uint64_t gen = nodes[std::size_t(thief)].search_gen;
+    eng.at(arrive, [this, thief, gen] { on_fail(thief, gen); });
+  } else {
+    // Busy hybrid ranks answer at the next poll boundary, like pure MPI.
+    v.pending_thieves.push_back(thief);
+  }
+}
+
+void HybridSim::on_fail(int n, std::uint64_t gen) {
+  NodeActor& a = nodes[std::size_t(n)];
+  ++g.fails;
+  if (!a.searching || a.search_gen != gen) return;
+  if (g.done) {
+    a.search_ns +=
+        Time(threads) *
+        (g.finish > a.search_start ? g.finish - a.search_start : 0);
+    a.searching = false;
+    return;
+  }
+  Time delay = a.retry_delay;
+  a.retry_delay = std::min(m.uts_search_cap, a.retry_delay * 3 / 2);
+  eng.after(delay, [this, n, gen] { search_iter(n, gen); });
+}
+
+void HybridSim::on_work(int n, std::vector<FastNode> loot) {
+  NodeActor& a = nodes[std::size_t(n)];
+  Time resume = eng.now();
+  if (a.searching) {
+    a.search_ns += Time(threads) * (resume - a.search_start);
+    a.searching = false;
+    ++a.search_gen;
+    // Cancelling the barrier and waking the team costs another barrier.
+    a.ovh_ns += m.omp_barrier_base;
+    resume += m.omp_barrier_base;
+  }
+  for (const FastNode& fn : loot) a.stack.push_back(fn);
+  if (!a.computing) {
+    a.computing = true;
+    eng.at(resume, [this, n] { quantum(n); });
+  }
+}
+
+UtsProfile HybridSim::run() {
+  nodes[0].stack.push_back(fast_root(cfg.tree));
+  eng.at(0, [this] { quantum(0); });
+  for (int n = 1; n < cfg.nodes; ++n) {
+    eng.at(0, [this, n] { start_search(n); });
+  }
+  eng.run();
+  UtsProfile out;
+  out.time_s = double(g.finish) / 1e9;
+  double w = 0, o = 0, s = 0;
+  for (const NodeActor& a : nodes) {
+    w += double(a.work_ns);
+    o += double(a.ovh_ns);
+    s += double(a.search_ns);
+  }
+  double res = double(nodes.size()) * double(threads);
+  out.work_s = w / res / 1e9;
+  out.overhead_s = o / res / 1e9;
+  out.search_s = s / res / 1e9;
+  out.failed_steals = g.fails;
+  out.successful_steals = g.succ;
+  out.nodes_explored = g.explored;
+  out.sim_events = eng.events_processed();
+  return out;
+}
+
+}  // namespace
+
+UtsProfile run_uts_hybrid(const MachineConfig& m, const UtsSimConfig& cfg) {
+  HybridSim sim(m, cfg);
+  return sim.run();
+}
+
+}  // namespace sim

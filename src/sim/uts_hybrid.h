@@ -1,0 +1,17 @@
+// The MPI+OpenMP hybrid UTS baseline (paper §IV-B "Comparison with
+// MPI+OpenMP", Fig. 22): one MPI rank per node; OpenMP threads share the
+// rank's work queue under a lock; threads that run dry wait at a cancellable
+// barrier, the first arrival fires a global MPI steal, and arriving work
+// cancels the barrier. Compared to HCMPI it keeps all cores computing but
+// pays (a) queue-lock contention, (b) barrier churn on every dry spell, and
+// (c) poll-gated two-sided steal responses — the three effects that keep it
+// below HCMPI at scale in Fig. 22.
+#pragma once
+
+#include "sim/uts_sim.h"
+
+namespace sim {
+
+UtsProfile run_uts_hybrid(const MachineConfig& m, const UtsSimConfig& cfg);
+
+}  // namespace sim

@@ -1,0 +1,420 @@
+#include "sim/uts_sim.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/uts_common.h"
+
+namespace sim {
+
+// ===========================================================================
+// MPI variant: one rank per core; two-sided, poll-gated steals.
+// ===========================================================================
+
+namespace {
+
+struct MpiSim {
+  const MachineConfig& m;
+  const UtsSimConfig& cfg;
+  Engine eng;
+  Network net;
+  UtsGlobal g;
+  support::Xoshiro256 rng;
+
+  struct Rank {
+    std::vector<FastNode> stack;
+    std::vector<int> pending_thieves;  // steal requests awaiting our poll
+    bool searching = false;
+    std::uint64_t search_gen = 0;
+    Time search_start = 0;
+    Time retry_delay = 0;  // grows 1.5x per consecutive fail, capped
+    Time work_ns = 0, ovh_ns = 0, search_ns = 0;
+  };
+  std::vector<Rank> ranks;
+
+  MpiSim(const MachineConfig& mc, const UtsSimConfig& c)
+      : m(mc), cfg(c), net(mc, c.nodes),
+        rng(c.seed * 0x9E3779B97F4A7C15ull + 7),
+        ranks(std::size_t(c.nodes) * std::size_t(c.cores_per_node)) {}
+
+  int total_ranks() const { return int(ranks.size()); }
+  int node_of(int r) const { return r / cfg.cores_per_node; }
+
+  void quantum(int r);
+  void poll(int r, Time end_of_work, Time* ovh);
+  void start_search(int r);
+  void search_iter(int r, std::uint64_t gen);
+  void on_steal_request(int victim, int thief);
+  void reply(int victim, int thief, Time when);
+  void on_fail(int r, std::uint64_t gen);
+  void on_work(int r, std::vector<FastNode> loot);
+
+  UtsProfile run();
+};
+
+void MpiSim::quantum(int r) {
+  Rank& rk = ranks[std::size_t(r)];
+  if (g.done) return;
+  int n = 0;
+  while (!rk.stack.empty() && n < cfg.poll_interval) {
+    FastNode node = rk.stack.back();
+    rk.stack.pop_back();
+    int k = fast_children(node, cfg.tree);
+    for (int i = 0; i < k; ++i) {
+      rk.stack.push_back(fast_child(node, std::uint32_t(i)));
+    }
+    g.expanded(eng.now(), k);
+    ++n;
+  }
+  Time dt_work = Time(n) * m.uts_node_work;
+  rk.work_ns += dt_work;
+  Time ovh = 0;
+  poll(r, eng.now() + dt_work, &ovh);
+  rk.ovh_ns += ovh;
+  Time next = eng.now() + dt_work + ovh;
+  if (g.done) return;
+  if (!rk.stack.empty()) {
+    eng.at(next, [this, r] { quantum(r); });
+  } else {
+    eng.at(next, [this, r] { start_search(r); });
+  }
+}
+
+void MpiSim::poll(int r, Time end_of_work, Time* ovh) {
+  Rank& rk = ranks[std::size_t(r)];
+  *ovh += m.uts_poll;
+  Time when = end_of_work + m.uts_poll;
+  for (int thief : rk.pending_thieves) {
+    reply(r, thief, when);
+    *ovh += m.uts_respond;
+    when += m.uts_respond;
+  }
+  rk.pending_thieves.clear();
+}
+
+void MpiSim::reply(int victim, int thief, Time when) {
+  Rank& v = ranks[std::size_t(victim)];
+  if (int(v.stack.size()) > cfg.chunk) {
+    // Hand over the oldest `chunk` nodes (steal from the stack bottom —
+    // large subtrees, as the reference does).
+    std::vector<FastNode> loot(v.stack.begin(), v.stack.begin() + cfg.chunk);
+    v.stack.erase(v.stack.begin(), v.stack.begin() + cfg.chunk);
+    Time arrive = net.send(when, node_of(victim), node_of(thief),
+                           cfg.chunk * kNodeWireBytes);
+    ++g.succ;
+    eng.at(arrive, [this, thief, loot = std::move(loot)]() mutable {
+      on_work(thief, std::move(loot));
+    });
+  } else {
+    Time arrive =
+        net.send(when, node_of(victim), node_of(thief), kStealFailBytes);
+    std::uint64_t gen = ranks[std::size_t(thief)].search_gen;
+    eng.at(arrive, [this, thief, gen] { on_fail(thief, gen); });
+  }
+}
+
+void MpiSim::start_search(int r) {
+  Rank& rk = ranks[std::size_t(r)];
+  if (g.done || rk.searching) return;
+  rk.searching = true;
+  ++rk.search_gen;
+  rk.search_start = eng.now();
+  rk.retry_delay = m.uts_search_iter;
+  // An idle rank answers queued thieves with fails straight away (the
+  // reference's search loop keeps polling).
+  for (int thief : rk.pending_thieves) {
+    Time arrive =
+        net.send(eng.now(), node_of(r), node_of(thief), kStealFailBytes);
+    std::uint64_t gen = ranks[std::size_t(thief)].search_gen;
+    eng.at(arrive, [this, thief, gen] { on_fail(thief, gen); });
+  }
+  rk.pending_thieves.clear();
+  search_iter(r, rk.search_gen);
+}
+
+void MpiSim::search_iter(int r, std::uint64_t gen) {
+  Rank& rk = ranks[std::size_t(r)];
+  if (g.done || !rk.searching || rk.search_gen != gen) return;
+  if (total_ranks() < 2) return;
+  int victim = int(rng.next_below(std::uint64_t(total_ranks() - 1)));
+  if (victim >= r) ++victim;
+  Time arrive = net.send(eng.now(), node_of(r), node_of(victim),
+                         kStealRequestBytes);
+  eng.at(arrive, [this, victim, r] { on_steal_request(victim, r); });
+}
+
+void MpiSim::on_steal_request(int victim, int thief) {
+  Rank& v = ranks[std::size_t(victim)];
+  if (g.done) return;
+  if (v.searching || v.stack.empty()) {
+    // Idle victims answer immediately; busy ones at their next poll.
+    Time arrive = net.send(eng.now(), node_of(victim), node_of(thief),
+                           kStealFailBytes);
+    std::uint64_t gen = ranks[std::size_t(thief)].search_gen;
+    eng.at(arrive, [this, thief, gen] { on_fail(thief, gen); });
+  } else {
+    v.pending_thieves.push_back(thief);
+  }
+}
+
+void MpiSim::on_fail(int r, std::uint64_t gen) {
+  Rank& rk = ranks[std::size_t(r)];
+  ++g.fails;
+  if (!rk.searching || rk.search_gen != gen) return;
+  if (g.done) {
+    rk.search_ns += g.finish > rk.search_start ? g.finish - rk.search_start : 0;
+    rk.searching = false;
+    return;
+  }
+  Time delay = rk.retry_delay;
+  rk.retry_delay = std::min(m.uts_search_cap, rk.retry_delay * 3 / 2);
+  eng.after(delay, [this, r, gen] { search_iter(r, gen); });
+}
+
+void MpiSim::on_work(int r, std::vector<FastNode> loot) {
+  Rank& rk = ranks[std::size_t(r)];
+  if (rk.searching) {
+    rk.search_ns += eng.now() - rk.search_start;
+    rk.searching = false;
+    ++rk.search_gen;  // poison stale retry events
+  }
+  for (const FastNode& n : loot) rk.stack.push_back(n);
+  quantum(r);
+}
+
+UtsProfile MpiSim::run() {
+  ranks[0].stack.push_back(fast_root(cfg.tree));
+  eng.at(0, [this] { quantum(0); });
+  // Everyone else starts idle and hunting, as in the reference benchmark.
+  for (int r = 1; r < total_ranks(); ++r) {
+    eng.at(0, [this, r] { start_search(r); });
+  }
+  eng.run();
+  UtsProfile out;
+  out.time_s = double(g.finish) / 1e9;
+  double w = 0, o = 0, s = 0;
+  for (const Rank& rk : ranks) {
+    w += double(rk.work_ns);
+    o += double(rk.ovh_ns);
+    s += double(rk.search_ns);
+  }
+  double res = double(ranks.size());
+  out.work_s = w / res / 1e9;
+  out.overhead_s = o / res / 1e9;
+  out.search_s = s / res / 1e9;
+  out.failed_steals = g.fails;
+  out.successful_steals = g.succ;
+  out.nodes_explored = g.explored;
+  out.sim_events = eng.events_processed();
+  return out;
+}
+
+}  // namespace
+
+UtsProfile run_uts_mpi(const MachineConfig& m, const UtsSimConfig& cfg) {
+  MpiSim sim(m, cfg);
+  return sim.run();
+}
+
+// ===========================================================================
+// HCMPI variant: one process per node, (cores−1) computation workers + one
+// dedicated communication worker that answers steals immediately.
+// ===========================================================================
+
+namespace {
+
+struct HcmpiSim {
+  const MachineConfig& m;
+  const UtsSimConfig& cfg;
+  Engine eng;
+  Network net;
+  UtsGlobal g;
+  support::Xoshiro256 rng;
+
+  struct NodeActor {
+    std::vector<FastNode> stack;  // pooled frontier (intra-node stealing)
+    bool computing = false;       // quantum event in flight
+    bool searching = false;       // all workers idle
+    // Global steal conversations in flight. Each computation worker that
+    // cannot find local work asks the communication worker for a global
+    // steal (paper §IV-B), so up to `workers` conversations overlap.
+    int steals_outstanding = 0;
+    std::uint64_t search_gen = 0;
+    Time search_start = 0;
+    Time retry_delay = 0;
+    Time work_ns = 0, ovh_ns = 0, search_ns = 0;
+  };
+  std::vector<NodeActor> nodes;
+  int workers;  // computation workers per node
+
+  HcmpiSim(const MachineConfig& mc, const UtsSimConfig& c)
+      : m(mc), cfg(c), net(mc, c.nodes),
+        rng(c.seed * 0xD1B54A32D192ED03ull + 11),
+        nodes(std::size_t(c.nodes)),
+        workers(std::max(1, c.cores_per_node - 1)) {}
+
+  void quantum(int n);
+  void start_search(int n);
+  // Tops up global-steal conversations to one per work-starved worker.
+  void issue_steals(int n);
+  void on_steal_request(int victim, int thief);
+  void on_fail(int n);
+  void on_work(int n, std::vector<FastNode> loot);
+
+  UtsProfile run();
+};
+
+void HcmpiSim::quantum(int n) {
+  NodeActor& a = nodes[std::size_t(n)];
+  a.computing = false;
+  if (g.done) return;
+  int budget = workers * cfg.poll_interval;
+  int done_nodes = 0;
+  while (!a.stack.empty() && done_nodes < budget) {
+    FastNode node = a.stack.back();
+    a.stack.pop_back();
+    int k = fast_children(node, cfg.tree);
+    for (int i = 0; i < k; ++i) {
+      a.stack.push_back(fast_child(node, std::uint32_t(i)));
+    }
+    g.expanded(eng.now(), k);
+    ++done_nodes;
+  }
+  // Workers run in parallel: wall time is the per-worker share; work time is
+  // the aggregate. Spilling thread-local stacks to the shared deques costs a
+  // small per-interval overhead (the paper's 5×-smaller overhead column).
+  Time wall = Time((done_nodes + workers - 1) / workers) * m.uts_node_work;
+  a.work_ns += Time(done_nodes) * m.uts_node_work;
+  Time spills = Time(done_nodes / std::max(1, cfg.poll_interval));
+  Time ovh = spills * (m.deque_pop + m.task_spawn / 2);
+  a.ovh_ns += ovh;
+  Time next = eng.now() + wall + ovh / std::max(1, workers);
+  if (g.done) return;
+  // Workers without local work ask the communication worker for global
+  // steals *while the others keep computing* — the overlap the dedicated
+  // worker exists for (paper §IV-B).
+  issue_steals(n);
+  if (!a.stack.empty()) {
+    a.computing = true;
+    eng.at(next, [this, n] { quantum(n); });
+  } else {
+    eng.at(next, [this, n] { start_search(n); });
+  }
+}
+
+void HcmpiSim::issue_steals(int n) {
+  NodeActor& a = nodes[std::size_t(n)];
+  if (g.done || cfg.nodes < 2) return;
+  int starved = workers - int(a.stack.size());
+  if (starved <= 0) return;
+  while (a.steals_outstanding < std::min(starved, workers)) {
+    ++a.steals_outstanding;
+    int victim = int(rng.next_below(std::uint64_t(cfg.nodes - 1)));
+    if (victim >= n) ++victim;
+    Time arrive = net.send(eng.now(), n, victim, kStealRequestBytes);
+    eng.at(arrive, [this, victim, n] { on_steal_request(victim, n); });
+  }
+}
+
+void HcmpiSim::start_search(int n) {
+  NodeActor& a = nodes[std::size_t(n)];
+  if (g.done || a.searching || !a.stack.empty()) return;
+  a.searching = true;
+  ++a.search_gen;
+  a.search_start = eng.now();
+  a.retry_delay = m.uts_search_iter;
+  issue_steals(n);
+}
+
+void HcmpiSim::on_steal_request(int victim, int thief) {
+  // The communication worker is always responsive: it answers now, not at
+  // the victim's next poll (paper: "a highly responsive communication
+  // worker per node").
+  NodeActor& v = nodes[std::size_t(victim)];
+  if (g.done) return;
+  Time when = eng.now() + m.uts_respond / 2;
+  if (int(v.stack.size()) > cfg.chunk) {
+    std::vector<FastNode> loot(v.stack.begin(), v.stack.begin() + cfg.chunk);
+    v.stack.erase(v.stack.begin(), v.stack.begin() + cfg.chunk);
+    Time arrive = net.send(when, victim, thief, cfg.chunk * kNodeWireBytes);
+    ++g.succ;
+    eng.at(arrive, [this, thief, loot = std::move(loot)]() mutable {
+      on_work(thief, std::move(loot));
+    });
+  } else {
+    Time arrive = net.send(when, victim, thief, kStealFailBytes);
+    eng.at(arrive, [this, thief] { on_fail(thief); });
+  }
+}
+
+void HcmpiSim::on_fail(int n) {
+  NodeActor& a = nodes[std::size_t(n)];
+  ++g.fails;
+  --a.steals_outstanding;
+  if (g.done) {
+    if (a.searching) {
+      a.search_ns +=
+          Time(workers) *
+          (g.finish > a.search_start ? g.finish - a.search_start : 0);
+      a.searching = false;
+    }
+    return;
+  }
+  // Retry after backoff; a work arrival in the meantime poisons the retry
+  // via the generation counter.
+  Time delay = a.retry_delay;
+  a.retry_delay = std::min(m.uts_search_cap, a.retry_delay * 3 / 2);
+  std::uint64_t gen = a.search_gen;
+  eng.after(delay, [this, n, gen] {
+    NodeActor& na = nodes[std::size_t(n)];
+    if (!g.done && na.search_gen == gen) issue_steals(n);
+  });
+}
+
+void HcmpiSim::on_work(int n, std::vector<FastNode> loot) {
+  NodeActor& a = nodes[std::size_t(n)];
+  --a.steals_outstanding;
+  a.retry_delay = m.uts_search_iter;
+  if (a.searching) {
+    a.search_ns += Time(workers) * (eng.now() - a.search_start);
+    a.searching = false;
+    ++a.search_gen;
+  }
+  for (const FastNode& fn : loot) a.stack.push_back(fn);
+  if (!a.computing) quantum(n);
+}
+
+UtsProfile HcmpiSim::run() {
+  nodes[0].stack.push_back(fast_root(cfg.tree));
+  eng.at(0, [this] { quantum(0); });
+  for (int n = 1; n < cfg.nodes; ++n) {
+    eng.at(0, [this, n] { start_search(n); });
+  }
+  eng.run();
+  UtsProfile out;
+  out.time_s = double(g.finish) / 1e9;
+  double w = 0, o = 0, s = 0;
+  for (const NodeActor& a : nodes) {
+    w += double(a.work_ns);
+    o += double(a.ovh_ns);
+    s += double(a.search_ns);
+  }
+  double res = double(nodes.size()) * double(workers);
+  out.work_s = w / res / 1e9;
+  out.overhead_s = o / res / 1e9;
+  out.search_s = s / res / 1e9;
+  out.failed_steals = g.fails;
+  out.successful_steals = g.succ;
+  out.nodes_explored = g.explored;
+  out.sim_events = eng.events_processed();
+  return out;
+}
+
+}  // namespace
+
+UtsProfile run_uts_hcmpi(const MachineConfig& m, const UtsSimConfig& cfg) {
+  HcmpiSim sim(m, cfg);
+  return sim.run();
+}
+
+}  // namespace sim

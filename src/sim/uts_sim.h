@@ -1,0 +1,55 @@
+// UTS on the simulated cluster (paper §IV-B, Figs. 16–21, Table III).
+//
+// Two executions of the *same deterministic tree*:
+//
+//   * run_uts_mpi   — the reference MPI work-stealing code: one rank per
+//     core, every rank interleaves tree exploration with a progress poll
+//     every `poll_interval` nodes; steal requests are two-sided, so a
+//     victim answers only at its next poll (the latency that, together with
+//     fail-retry storms, produces the paper's 94 M failed steals and the
+//     reverse scaling at 1024×16);
+//
+//   * run_uts_hcmpi — the HCMPI version: one process per node with
+//     (cores−1) computation workers + 1 dedicated communication worker.
+//     Intra-node steals are shared-memory and cheap; the communication
+//     worker answers external steal requests *immediately* (it is never
+//     inside user computation), which is the paper's stated reason for the
+//     crossover at 8–16 cores/node.
+//
+// The tree uses the fast counter-hash node stream (same child-count
+// distributions as the SHA-1 stream; see uts::children_from_uniform), with
+// per-node work charged as MachineConfig::uts_node_work of virtual time.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/uts/uts.h"
+#include "sim/machine.h"
+
+namespace sim {
+
+struct UtsSimConfig {
+  uts::Params tree;
+  int nodes = 4;            // cluster nodes
+  int cores_per_node = 16;  // cores per node
+  int chunk = 8;            // -c: nodes transferred per successful steal
+  int poll_interval = 4;    // -i: exploration nodes between progress polls
+  std::uint64_t seed = 1;   // victim-selection randomness
+};
+
+// The paper's Table III columns, plus the raw inputs that produced them.
+struct UtsProfile {
+  double time_s = 0;      // virtual wall clock
+  double work_s = 0;      // per-resource average, like the paper
+  double overhead_s = 0;  // progress-poll + steal-service time
+  double search_s = 0;    // idle-and-searching time
+  std::uint64_t failed_steals = 0;
+  std::uint64_t successful_steals = 0;
+  std::uint64_t nodes_explored = 0;
+  std::uint64_t sim_events = 0;
+};
+
+UtsProfile run_uts_mpi(const MachineConfig& m, const UtsSimConfig& cfg);
+UtsProfile run_uts_hcmpi(const MachineConfig& m, const UtsSimConfig& cfg);
+
+}  // namespace sim

@@ -1,0 +1,203 @@
+// Blocking collectives over the point-to-point layer, in a private context
+// so they can never match user traffic. Algorithms: dissemination barrier,
+// binomial-tree bcast/reduce, reduce+bcast allreduce, chain scan, and
+// root-centric gather/scatter — the classic implementations the paper's MPI
+// baselines rely on.
+#include <cstring>
+#include <vector>
+
+#include "smpi/comm.h"
+#include "smpi/world.h"
+
+namespace smpi {
+
+namespace {
+constexpr int kTagBarrier = 1000;  // +round
+constexpr int kTagBcast = 2000;
+constexpr int kTagReduce = 3000;
+constexpr int kTagScan = 4000;
+constexpr int kTagGather = 5000;
+constexpr int kTagScatter = 6000;
+constexpr int kTagAlltoall = 8000;
+}  // namespace
+
+void Comm::csend(const void* buf, std::size_t bytes, int dest, int tag) {
+  Envelope env;
+  env.source = rank_;
+  env.tag = tag;
+  env.context = coll_context();
+  env.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(env.payload.data(), buf, bytes);
+  endpoint(dest).deliver(std::move(env));
+}
+
+void Comm::crecv(void* buf, std::size_t cap, int source, int tag) {
+  auto req = std::make_shared<RequestState>();
+  req->kind = ReqKind::kRecv;
+  req->recv_buf = buf;
+  req->recv_cap = cap;
+  req->match_source = source;
+  req->match_tag = tag;
+  req->context = coll_context();
+  req->owner = &endpoint(rank_);
+  endpoint(rank_).post_recv(req);
+  endpoint(rank_).wait_request(req);
+  if (req->status.error == ErrorCode::kTruncate) {
+    throw Error(ErrorCode::kTruncate, "smpi: collective payload truncated");
+  }
+}
+
+void Comm::barrier() {
+  int p = size();
+  for (int k = 0, dist = 1; dist < p; ++k, dist <<= 1) {
+    int dest = (rank_ + dist) % p;
+    int src = (rank_ - dist % p + p) % p;
+    csend(nullptr, 0, dest, kTagBarrier + k);
+    crecv(nullptr, 0, src, kTagBarrier + k);
+  }
+}
+
+void Comm::bcast(void* buf, std::size_t bytes, int root) {
+  int p = size();
+  int vr = (rank_ - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if (vr & mask) {
+      crecv(buf, bytes, (vr - mask + root) % p, kTagBcast);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vr + mask < p) {
+      csend(buf, bytes, (vr + mask + root) % p, kTagBcast);
+    }
+    mask >>= 1;
+  }
+}
+
+void Comm::reduce(const void* in, void* out, std::size_t count, Datatype t,
+                  Op op, int root) {
+  int p = size();
+  std::size_t bytes = count * datatype_size(t);
+  int vr = (rank_ - root + p) % p;
+  std::vector<std::uint8_t> acc(bytes), scratch(bytes);
+  if (bytes > 0) std::memcpy(acc.data(), in, bytes);
+  // Binomial-tree combine toward virtual rank 0 (valid for the commutative
+  // op set this substrate exposes).
+  for (int mask = 1; mask < p; mask <<= 1) {
+    if (vr & mask) {
+      csend(acc.data(), bytes, (vr - mask + root) % p, kTagReduce);
+      break;
+    }
+    if (vr + mask < p) {
+      crecv(scratch.data(), bytes, (vr + mask + root) % p, kTagReduce);
+      apply_op(op, t, acc.data(), scratch.data(), count);
+    }
+  }
+  if (rank_ == root && bytes > 0) std::memcpy(out, acc.data(), bytes);
+}
+
+void Comm::allreduce(const void* in, void* out, std::size_t count, Datatype t,
+                     Op op) {
+  reduce(in, out, count, t, op, /*root=*/0);
+  bcast(out, count * datatype_size(t), /*root=*/0);
+}
+
+void Comm::scan(const void* in, void* out, std::size_t count, Datatype t,
+                Op op) {
+  // Inclusive chain scan: combine the prefix from rank-1, forward to rank+1.
+  std::size_t bytes = count * datatype_size(t);
+  std::vector<std::uint8_t> acc(bytes);
+  if (bytes > 0) std::memcpy(acc.data(), in, bytes);
+  if (rank_ > 0) {
+    std::vector<std::uint8_t> prefix(bytes);
+    crecv(prefix.data(), bytes, rank_ - 1, kTagScan);
+    apply_op(op, t, acc.data(), prefix.data(), count);
+  }
+  if (rank_ + 1 < size()) {
+    csend(acc.data(), bytes, rank_ + 1, kTagScan);
+  }
+  if (bytes > 0) std::memcpy(out, acc.data(), bytes);
+}
+
+void Comm::gather(const void* send, std::size_t bytes_per_rank, void* recv,
+                  int root) {
+  if (rank_ != root) {
+    csend(send, bytes_per_rank, root, kTagGather);
+    return;
+  }
+  auto* dst = static_cast<std::uint8_t*>(recv);
+  if (bytes_per_rank > 0) {
+    std::memcpy(dst + std::size_t(rank_) * bytes_per_rank, send,
+                bytes_per_rank);
+  }
+  for (int r = 0; r < size(); ++r) {
+    if (r == root) continue;
+    crecv(dst + std::size_t(r) * bytes_per_rank, bytes_per_rank, r,
+          kTagGather);
+  }
+}
+
+void Comm::scatter(const void* send, std::size_t bytes_per_rank, void* recv,
+                   int root) {
+  if (rank_ == root) {
+    const auto* src = static_cast<const std::uint8_t*>(send);
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      csend(src + std::size_t(r) * bytes_per_rank, bytes_per_rank, r,
+            kTagScatter);
+    }
+    if (bytes_per_rank > 0) {
+      std::memcpy(recv, src + std::size_t(root) * bytes_per_rank,
+                  bytes_per_rank);
+    }
+  } else {
+    crecv(recv, bytes_per_rank, root, kTagScatter);
+  }
+}
+
+void Comm::allgather(const void* send, std::size_t bytes_per_rank,
+                     void* recv) {
+  gather(send, bytes_per_rank, recv, /*root=*/0);
+  bcast(recv, bytes_per_rank * std::size_t(size()), /*root=*/0);
+}
+
+void Comm::alltoall(const void* send, std::size_t bytes_per_rank,
+                    void* recv) {
+  const auto* src = static_cast<const std::uint8_t*>(send);
+  auto* dst = static_cast<std::uint8_t*>(recv);
+  int p = size();
+  // Post everything, then drain: tags encode the peer pair uniquely via the
+  // source, so a single tag suffices.
+  std::vector<Request> recvs;
+  recvs.reserve(std::size_t(p) - 1);
+  for (int r = 0; r < p; ++r) {
+    if (r == rank_) {
+      if (bytes_per_rank > 0) {
+        std::memcpy(dst + std::size_t(r) * bytes_per_rank,
+                    src + std::size_t(r) * bytes_per_rank, bytes_per_rank);
+      }
+      continue;
+    }
+    auto req = std::make_shared<RequestState>();
+    req->kind = ReqKind::kRecv;
+    req->recv_buf = dst + std::size_t(r) * bytes_per_rank;
+    req->recv_cap = bytes_per_rank;
+    req->match_source = r;
+    req->match_tag = kTagAlltoall;
+    req->context = coll_context();
+    req->owner = &endpoint(rank_);
+    endpoint(rank_).post_recv(req);
+    recvs.push_back(std::move(req));
+  }
+  for (int r = 0; r < p; ++r) {
+    if (r == rank_) continue;
+    csend(src + std::size_t(r) * bytes_per_rank, bytes_per_rank, r,
+          kTagAlltoall);
+  }
+  for (const Request& req : recvs) endpoint(rank_).wait_request(req);
+}
+
+}  // namespace smpi

@@ -1,0 +1,114 @@
+#include <cstring>
+#include <stdexcept>
+
+#include "smpi/comm.h"
+#include "smpi/world.h"
+
+namespace smpi {
+
+Request Comm::isend(const void* buf, std::size_t bytes, int dest, int tag) {
+  if (dest < 0 || dest >= size()) {
+    throw std::out_of_range("smpi: isend destination rank out of range");
+  }
+  Envelope env;
+  env.source = rank_;
+  env.tag = tag;
+  env.context = context_;
+  env.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(env.payload.data(), buf, bytes);
+  endpoint(dest).deliver(std::move(env));
+
+  // Eager/buffered mode: the payload is out of the user buffer, so the send
+  // completes now.
+  auto req = std::make_shared<RequestState>();
+  req->kind = ReqKind::kSend;
+  req->status.source = rank_;
+  req->status.tag = tag;
+  req->status.count_bytes = bytes;
+  req->state.store(ReqState::kComplete, std::memory_order_release);
+  return req;
+}
+
+Request Comm::irecv(void* buf, std::size_t cap, int source, int tag) {
+  if (source != kAnySource && (source < 0 || source >= size())) {
+    throw std::out_of_range("smpi: irecv source rank out of range");
+  }
+  auto req = std::make_shared<RequestState>();
+  req->kind = ReqKind::kRecv;
+  req->recv_buf = buf;
+  req->recv_cap = cap;
+  req->match_source = source;
+  req->match_tag = tag;
+  req->context = context_;
+  req->owner = &endpoint(rank_);
+  endpoint(rank_).post_recv(req);
+  return req;
+}
+
+void Comm::send(const void* buf, std::size_t bytes, int dest, int tag) {
+  isend(buf, bytes, dest, tag);
+}
+
+void Comm::recv(void* buf, std::size_t cap, int source, int tag, Status* st) {
+  Request req = irecv(buf, cap, source, tag);
+  wait(req, st);
+}
+
+bool Comm::test(const Request& req, Status* st) {
+  if (!req || !req->done()) return false;
+  if (st != nullptr) *st = req->status;
+  return true;
+}
+
+bool Comm::testall(const std::vector<Request>& reqs) {
+  for (const Request& r : reqs) {
+    if (r && !r->done()) return false;
+  }
+  return true;
+}
+
+int Comm::testany(const std::vector<Request>& reqs, Status* st) {
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (reqs[i] && reqs[i]->done()) {
+      if (st != nullptr) *st = reqs[i]->status;
+      return int(i);
+    }
+  }
+  return -1;
+}
+
+void Comm::wait(const Request& req, Status* st) {
+  if (req && !req->done()) {
+    Endpoint& ep = req->owner != nullptr ? *req->owner : endpoint(rank_);
+    ep.wait_request(req);
+  }
+  if (req && st != nullptr) *st = req->status;
+}
+
+void Comm::waitall(const std::vector<Request>& reqs) {
+  for (const Request& r : reqs) wait(r);
+}
+
+int Comm::waitany(const std::vector<Request>& reqs, Status* st) {
+  if (reqs.empty()) return -1;
+  // All pending requests are receives posted on this rank's endpoint.
+  std::size_t i = endpoint(rank_).wait_any(reqs);
+  if (st != nullptr) *st = reqs[i]->status;
+  return int(i);
+}
+
+bool Comm::cancel(const Request& req) {
+  if (!req || req->kind != ReqKind::kRecv || req->done()) return false;
+  Endpoint& ep = req->owner != nullptr ? *req->owner : endpoint(rank_);
+  return ep.cancel_recv(req);
+}
+
+bool Comm::iprobe(int source, int tag, Status* st) {
+  return endpoint(rank_).iprobe(source, tag, context_, st);
+}
+
+void Comm::probe(int source, int tag, Status* st) {
+  endpoint(rank_).probe(source, tag, context_, st);
+}
+
+}  // namespace smpi

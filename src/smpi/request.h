@@ -1,0 +1,39 @@
+// Non-blocking request objects. A Request is a shared handle to completion
+// state; completion happens under the owning endpoint's lock and is observed
+// via test/wait on any thread.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+#include "smpi/types.h"
+
+namespace smpi {
+
+class Endpoint;
+
+enum class ReqKind : std::uint8_t { kSend, kRecv };
+enum class ReqState : std::uint8_t { kPending, kComplete, kCancelled };
+
+struct RequestState {
+  ReqKind kind = ReqKind::kSend;
+  std::atomic<ReqState> state{ReqState::kPending};
+  Status status{};
+
+  // Recv bookkeeping (guarded by the owning endpoint's mutex while pending).
+  void* recv_buf = nullptr;
+  std::size_t recv_cap = 0;
+  int match_source = kAnySource;
+  int match_tag = kAnyTag;
+  std::uint32_t context = 0;
+  Endpoint* owner = nullptr;
+
+  bool done() const {
+    return state.load(std::memory_order_acquire) != ReqState::kPending;
+  }
+};
+
+using Request = std::shared_ptr<RequestState>;
+
+}  // namespace smpi

@@ -1,0 +1,107 @@
+#include "smpi/rma.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "smpi/world.h"
+
+namespace smpi {
+
+Window Window::create(Comm& comm, void* base, std::size_t bytes) {
+  // Local rank 0 stashes the shared region table; everyone fetches it by id
+  // and registers its own region, then a barrier closes registration.
+  std::uint32_t id = 0;
+  std::shared_ptr<Shared> shared;
+  if (comm.rank() == 0) {
+    shared = std::make_shared<Shared>();
+    shared->regions.resize(std::size_t(comm.size()));
+    for (auto& r : shared->regions) r.mu = std::make_unique<std::mutex>();
+    id = comm.world().stash_put(shared);
+  }
+  comm.bcast(&id, sizeof id, 0);
+  if (comm.rank() != 0) {
+    shared = std::static_pointer_cast<Shared>(comm.world().stash_get(id));
+    if (!shared) throw std::logic_error("smpi: window stash miss");
+  }
+  Region& mine = shared->regions[std::size_t(comm.rank())];
+  mine.base = base;
+  mine.bytes = bytes;
+  comm.barrier();  // all regions registered before any RMA may start
+  if (comm.rank() == 0) comm.world().stash_erase(id);
+  return Window(comm, std::move(shared));
+}
+
+Window::~Window() = default;
+Window::Window(Window&&) noexcept = default;
+Window& Window::operator=(Window&&) noexcept = default;
+
+Window::Region& Window::region(int target) {
+  if (target < 0 || target >= size()) {
+    throw std::out_of_range("smpi: RMA target rank out of range");
+  }
+  return shared_->regions[std::size_t(target)];
+}
+
+std::size_t Window::bytes(int target) const {
+  return const_cast<Window*>(this)->region(target).bytes;
+}
+
+void Window::put(const void* origin, std::size_t bytes, int target,
+                 std::size_t target_offset) {
+  Region& r = region(target);
+  if (target_offset + bytes > r.bytes) {
+    throw std::out_of_range("smpi: RMA put beyond window bounds");
+  }
+  std::lock_guard<std::mutex> lk(*r.mu);
+  std::memcpy(static_cast<std::uint8_t*>(r.base) + target_offset, origin,
+              bytes);
+}
+
+void Window::get(void* origin, std::size_t bytes, int target,
+                 std::size_t target_offset) {
+  Region& r = region(target);
+  if (target_offset + bytes > r.bytes) {
+    throw std::out_of_range("smpi: RMA get beyond window bounds");
+  }
+  std::lock_guard<std::mutex> lk(*r.mu);
+  std::memcpy(origin, static_cast<const std::uint8_t*>(r.base) + target_offset,
+              bytes);
+}
+
+void Window::accumulate(const void* origin, std::size_t count, Datatype t,
+                        Op op, int target, std::size_t target_offset) {
+  Region& r = region(target);
+  std::size_t bytes = count * datatype_size(t);
+  if (target_offset + bytes > r.bytes) {
+    throw std::out_of_range("smpi: RMA accumulate beyond window bounds");
+  }
+  std::lock_guard<std::mutex> lk(*r.mu);
+  apply_op(op, t, static_cast<std::uint8_t*>(r.base) + target_offset, origin,
+           count);
+}
+
+void Window::fetch_and_op(const void* origin, void* result, Datatype t, Op op,
+                          int target, std::size_t target_offset) {
+  Region& r = region(target);
+  std::size_t bytes = datatype_size(t);
+  if (target_offset + bytes > r.bytes) {
+    throw std::out_of_range("smpi: RMA fetch_and_op beyond window bounds");
+  }
+  std::lock_guard<std::mutex> lk(*r.mu);
+  std::uint8_t* cell = static_cast<std::uint8_t*>(r.base) + target_offset;
+  std::memcpy(result, cell, bytes);  // old value
+  apply_op(op, t, cell, origin, 1);
+}
+
+void Window::fence() {
+  // Eager substrate: transfers are complete when the call returns, so the
+  // epoch separator only needs the collective ordering point.
+  comm_.barrier();
+}
+
+void Window::free() {
+  comm_.barrier();
+  shared_.reset();
+}
+
+}  // namespace smpi

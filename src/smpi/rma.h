@@ -1,0 +1,87 @@
+// One-sided communication (RMA): the feature the paper explicitly defers
+// ("The only MPI feature that HCMPI does not currently support is the remote
+// memory access (RMA), however that is straightforward to add ... a subject
+// of future work", §II-B). This implements the MPI-2 style core:
+//
+//   * Window::create  — collective registration of a local buffer per rank;
+//   * put / get       — direct one-sided transfer into/from a remote window;
+//   * accumulate      — element-wise reduction into remote memory;
+//   * fence           — collective epoch separator (a barrier with ordering
+//                       semantics: all RMA issued before the fence is
+//                       visible to every rank after it).
+//
+// The in-process substrate makes one-sided truly one-sided: the origin rank
+// touches the target's memory under the window's per-rank lock, without any
+// involvement of the target thread — exactly the semantics HCMPI's
+// communication worker needs to offload rput/rget.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "smpi/comm.h"
+#include "smpi/types.h"
+
+namespace smpi {
+
+class Window {
+ public:
+  // Collective over comm: every rank contributes a (base, bytes) region.
+  // The returned object is this rank's handle; handles share state through
+  // the world, keyed by a collectively agreed window id.
+  static Window create(Comm& comm, void* base, std::size_t bytes);
+
+  ~Window();
+  Window(Window&&) noexcept;
+  Window& operator=(Window&&) noexcept;
+  Window(const Window&) = delete;
+  Window& operator=(const Window&) = delete;
+
+  int rank() const { return comm_.rank(); }
+  int size() const { return comm_.size(); }
+  std::size_t bytes(int target) const;
+
+  // One-sided transfers. Offsets are byte offsets into the target's region;
+  // out-of-range accesses throw (the substrate's stand-in for an RMA
+  // segfault on the target).
+  void put(const void* origin, std::size_t bytes, int target,
+           std::size_t target_offset);
+  void get(void* origin, std::size_t bytes, int target,
+           std::size_t target_offset);
+  // MPI_Accumulate: target[i] = op(target[i], origin[i]) under the target's
+  // window lock (atomic with respect to other accumulates).
+  void accumulate(const void* origin, std::size_t count, Datatype t, Op op,
+                  int target, std::size_t target_offset);
+  // Atomic fetch-and-op on a single element (MPI_Fetch_and_op).
+  void fetch_and_op(const void* origin, void* result, Datatype t, Op op,
+                    int target, std::size_t target_offset);
+
+  // Collective epoch separator.
+  void fence();
+
+  // Free the window collectively.
+  void free();
+
+ private:
+  struct Region {
+    void* base = nullptr;
+    std::size_t bytes = 0;
+    std::unique_ptr<std::mutex> mu;
+  };
+  struct Shared {
+    std::vector<Region> regions;  // indexed by comm-local rank
+  };
+
+  Window(Comm comm, std::shared_ptr<Shared> shared)
+      : comm_(comm), shared_(std::move(shared)) {}
+
+  Region& region(int target);
+
+  Comm comm_;
+  std::shared_ptr<Shared> shared_;
+};
+
+}  // namespace smpi

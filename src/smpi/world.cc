@@ -1,0 +1,45 @@
+#include "smpi/world.h"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "smpi/comm.h"
+
+namespace smpi {
+
+World::World(int nprocs, ThreadLevel level) : level_(level) {
+  endpoints_.reserve(std::size_t(nprocs));
+  for (int r = 0; r < nprocs; ++r) {
+    endpoints_.push_back(std::make_unique<Endpoint>(r));
+  }
+}
+
+World::~World() = default;
+
+Comm World::comm(int rank) { return Comm(*this, rank, /*context=*/0); }
+
+void World::run(int nprocs, const std::function<void(Comm&)>& body,
+                ThreadLevel level) {
+  World world(nprocs, level);
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(std::size_t(nprocs));
+    for (int r = 0; r < nprocs; ++r) {
+      threads.emplace_back([&world, &body, &first_error, &err_mu, r] {
+        try {
+          Comm comm = world.comm(r);
+          body(comm);
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+  }  // join
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace smpi

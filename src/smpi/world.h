@@ -1,0 +1,82 @@
+// World: the process group. Owns one Endpoint per rank and launches rank
+// threads. Replaces mpirun + MPI_Init for this in-process substrate.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "smpi/endpoint.h"
+#include "smpi/types.h"
+
+namespace smpi {
+
+class Comm;
+
+class World {
+ public:
+  explicit World(int nprocs, ThreadLevel level = ThreadLevel::kMultiple);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  int size() const { return int(endpoints_.size()); }
+  ThreadLevel thread_level() const { return level_; }
+  Endpoint& endpoint(int rank) { return *endpoints_[std::size_t(rank)]; }
+
+  // Allocates a fresh communicator context id (used by Comm::dup()).
+  std::uint32_t next_context() {
+    return context_counter_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Atomically reserves `n` consecutive context ids (Comm::split needs one
+  // per color, and a racing dup from another communicator must not land in
+  // the middle of the block).
+  std::uint32_t next_context_block(std::uint32_t n) {
+    return context_counter_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  // Creates the rank's view of COMM_WORLD (context 0).
+  Comm comm(int rank);
+
+  // In-process object exchange for collectively created shared state
+  // (RMA windows): one rank stashes a shared_ptr under a fresh id, the
+  // others fetch it after learning the id via bcast.
+  std::uint32_t stash_put(std::shared_ptr<void> obj) {
+    std::lock_guard<std::mutex> lk(stash_mu_);
+    std::uint32_t id = stash_counter_++;
+    stash_[id] = std::move(obj);
+    return id;
+  }
+  std::shared_ptr<void> stash_get(std::uint32_t id) {
+    std::lock_guard<std::mutex> lk(stash_mu_);
+    auto it = stash_.find(id);
+    return it == stash_.end() ? nullptr : it->second;
+  }
+  void stash_erase(std::uint32_t id) {
+    std::lock_guard<std::mutex> lk(stash_mu_);
+    stash_.erase(id);
+  }
+
+  // Spawns nprocs threads running body(comm), joins them, and rethrows the
+  // first exception any rank threw. The standard entry point:
+  //
+  //   smpi::World::run(4, [](smpi::Comm& comm) { ... });
+  static void run(int nprocs, const std::function<void(Comm&)>& body,
+                  ThreadLevel level = ThreadLevel::kMultiple);
+
+ private:
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  ThreadLevel level_;
+  std::atomic<std::uint32_t> context_counter_{1};
+  std::mutex stash_mu_;
+  std::unordered_map<std::uint32_t, std::shared_ptr<void>> stash_;
+  std::uint32_t stash_counter_ = 1;
+};
+
+}  // namespace smpi

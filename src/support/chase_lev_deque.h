@@ -1,0 +1,134 @@
+// Chase–Lev work-stealing deque (Chase & Lev, SPAA'05; Lê et al., PPoPP'13
+// C11 memory-order formulation).
+//
+// The owning worker pushes and pops at the bottom without contention; thieves
+// steal from the top with a CAS. This is the per-worker task queue of the
+// Habanero-C style runtime (paper §III): "Each worker maintains a
+// double-ended queue (deque) of lightweight computation tasks."
+//
+// T must be trivially copyable (we store raw task pointers). Grown arrays are
+// retired and reclaimed when the deque is destroyed; a deque lives as long as
+// its worker, so this bounded leak-until-destruction is the standard scheme.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace support {
+
+template <typename T>
+class ChaseLevDeque {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  explicit ChaseLevDeque(std::size_t initial_capacity = 64)
+      : array_(new Array(round_up(initial_capacity))) {}
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  ~ChaseLevDeque() {
+    delete array_.load(std::memory_order_relaxed);
+    for (Array* a : retired_) delete a;
+  }
+
+  // Owner only.
+  void push(T value) {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    Array* a = array_.load(std::memory_order_relaxed);
+    if (b - t > std::int64_t(a->capacity) - 1) {
+      a = grow(a, t, b);
+    }
+    a->put(b, value);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  // Owner only. Returns nullopt when empty.
+  std::optional<T> pop() {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Array* a = array_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    T value = a->get(b);
+    if (t == b) {
+      // Last element: race against thieves.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return std::nullopt;
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return value;
+  }
+
+  // Any thread. Returns nullopt when empty or when it lost a race.
+  std::optional<T> steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return std::nullopt;
+    Array* a = array_.load(std::memory_order_consume);
+    T value = a->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return std::nullopt;
+    }
+    return value;
+  }
+
+  // Approximate; for heuristics and stats only.
+  std::size_t size_approx() const {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? std::size_t(b - t) : 0;
+  }
+
+  bool empty_approx() const { return size_approx() == 0; }
+
+ private:
+  struct Array {
+    explicit Array(std::size_t cap) : capacity(cap), mask(cap - 1), slots(cap) {}
+    std::size_t capacity;
+    std::size_t mask;
+    std::vector<std::atomic<T>> slots;
+
+    void put(std::int64_t i, T v) {
+      slots[std::size_t(i) & mask].store(v, std::memory_order_relaxed);
+    }
+    T get(std::int64_t i) const {
+      return slots[std::size_t(i) & mask].load(std::memory_order_relaxed);
+    }
+  };
+
+  static std::size_t round_up(std::size_t n) {
+    std::size_t c = 16;
+    while (c < n) c <<= 1;
+    return c;
+  }
+
+  Array* grow(Array* old, std::int64_t t, std::int64_t b) {
+    auto* bigger = new Array(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    array_.store(bigger, std::memory_order_release);
+    retired_.push_back(old);
+    return bigger;
+  }
+
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<Array*> array_;
+  std::vector<Array*> retired_;  // owner-only; reclaimed at destruction
+};
+
+}  // namespace support

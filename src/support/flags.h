@@ -1,0 +1,28 @@
+// Minimal command-line flag parser for the bench and example binaries.
+// Syntax: --name=value or --name value; unknown flags are an error so typos
+// in experiment sweeps fail loudly instead of silently using defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace support {
+
+class Flags {
+ public:
+  // Parses argv; exits with a message on malformed input or unknown flags
+  // (unknown flags are only checked when `strict` is true).
+  Flags(int argc, char** argv, bool strict = false);
+
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+  std::string get(const std::string& name, const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace support

@@ -1,0 +1,69 @@
+// Vyukov-style unbounded lock-free multi-producer single-consumer queue.
+//
+// This is the communication worker's worklist (paper §III: "a worklist of
+// communication tasks implemented as a lock-free queue"): any computation
+// worker enqueues communication tasks; only the communication worker dequeues.
+#pragma once
+
+#include <atomic>
+#include <utility>
+
+namespace support {
+
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() {
+    Node* stub = new Node();
+    head_.store(stub, std::memory_order_relaxed);
+    tail_ = stub;
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  ~MpscQueue() {
+    Node* n = tail_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  // Any thread.
+  void push(T value) {
+    Node* n = new Node(std::move(value));
+    Node* prev = head_.exchange(n, std::memory_order_acq_rel);
+    prev->next.store(n, std::memory_order_release);
+  }
+
+  // Consumer only. Returns false when the queue is (momentarily) empty.
+  bool pop(T& out) {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (next == nullptr) return false;
+    out = std::move(next->value);
+    tail_ = next;
+    delete tail;
+    return true;
+  }
+
+  // Consumer only; approximate (a concurrent push may be mid-flight).
+  bool empty_approx() const {
+    return tail_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Node {
+    Node() = default;
+    explicit Node(T v) : value(std::move(v)) {}
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  alignas(64) std::atomic<Node*> head_;  // producers
+  alignas(64) Node* tail_;               // consumer
+};
+
+}  // namespace support

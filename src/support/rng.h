@@ -1,0 +1,70 @@
+// Small deterministic PRNGs used across the runtime, workloads and simulator.
+// Every random decision in the repo is seeded so runs are reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace support {
+
+// SplitMix64 — used for seeding and as a cheap counter hash in the simulator.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Stateless mix of a 64-bit value; the simulator's fast stand-in for the
+  // SHA-1 node stream (see DESIGN.md §2).
+  static std::uint64_t mix(std::uint64_t z) {
+    z += 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256** — general-purpose generator for tests and workload synthesis.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double next_double() { return double(next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  // Uniform in [0, n).
+  std::uint64_t next_below(std::uint64_t n) { return n ? next() % n : 0; }
+
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return next(); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t s_[4];
+};
+
+}  // namespace support

@@ -1,0 +1,112 @@
+#include "support/sha1.h"
+
+#include <cstring>
+
+namespace support {
+
+namespace {
+inline std::uint32_t rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+}  // namespace
+
+void Sha1::reset() {
+  h_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  total_len_ = 0;
+  buf_len_ = 0;
+}
+
+void Sha1::process_block(const std::uint8_t* p) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (std::uint32_t(p[4 * i]) << 24) | (std::uint32_t(p[4 * i + 1]) << 16) |
+           (std::uint32_t(p[4 * i + 2]) << 8) | std::uint32_t(p[4 * i + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    std::uint32_t tmp = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+void Sha1::update(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  total_len_ += len;
+  while (len > 0) {
+    std::size_t take = std::min(len, buf_.size() - buf_len_);
+    std::memcpy(buf_.data() + buf_len_, p, take);
+    buf_len_ += take;
+    p += take;
+    len -= take;
+    if (buf_len_ == buf_.size()) {
+      process_block(buf_.data());
+      buf_len_ = 0;
+    }
+  }
+}
+
+Sha1::Digest Sha1::finish() {
+  std::uint64_t bit_len = total_len_ * 8;
+  std::uint8_t pad = 0x80;
+  update(&pad, 1);
+  std::uint8_t zero = 0;
+  while (buf_len_ != 56) update(&zero, 1);
+  std::uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) len_be[i] = std::uint8_t(bit_len >> (56 - 8 * i));
+  // Bypass total_len_ accounting for the length field itself.
+  std::memcpy(buf_.data() + buf_len_, len_be, 8);
+  process_block(buf_.data());
+  Digest d;
+  for (int i = 0; i < 5; ++i) {
+    d[4 * i] = std::uint8_t(h_[i] >> 24);
+    d[4 * i + 1] = std::uint8_t(h_[i] >> 16);
+    d[4 * i + 2] = std::uint8_t(h_[i] >> 8);
+    d[4 * i + 3] = std::uint8_t(h_[i]);
+  }
+  return d;
+}
+
+Sha1::Digest Sha1::hash(const void* data, std::size_t len) {
+  Sha1 s;
+  s.update(data, len);
+  return s.finish();
+}
+
+std::string Sha1::hex(const Digest& d) {
+  static const char* k = "0123456789abcdef";
+  std::string out;
+  out.reserve(40);
+  for (std::uint8_t b : d) {
+    out.push_back(k[b >> 4]);
+    out.push_back(k[b & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace support

@@ -1,0 +1,40 @@
+// SHA-1 message digest, used by the UTS splittable random stream exactly as
+// the reference benchmark does (Olivier et al., LCPC'06): each tree node's
+// 20-byte state is SHA1(parent_state || child_index).
+//
+// Not intended for cryptographic use; it exists so tree shapes are
+// bit-identical to the published UTS generator family.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <string>
+
+namespace support {
+
+class Sha1 {
+ public:
+  using Digest = std::array<std::uint8_t, 20>;
+
+  Sha1() { reset(); }
+
+  void reset();
+  void update(const void* data, std::size_t len);
+  // Finalizes and returns the digest. The object must be reset() before reuse.
+  Digest finish();
+
+  // One-shot convenience.
+  static Digest hash(const void* data, std::size_t len);
+  static std::string hex(const Digest& d);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> h_{};
+  std::array<std::uint8_t, 64> buf_{};
+  std::uint64_t total_len_ = 0;
+  std::size_t buf_len_ = 0;
+};
+
+}  // namespace support

@@ -1,0 +1,57 @@
+// Tiny spin primitives: an exponential-backoff helper and a TTAS spinlock.
+// Used only on short critical sections (smpi matching engine, phaser root).
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace support {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+// Exponential backoff: spins briefly, then yields to the OS. On the 1-core
+// CI host yielding early is essential or spinners starve the thread that
+// would make progress.
+class Backoff {
+ public:
+  void pause() {
+    if (count_ < kSpinLimit) {
+      for (int i = 0; i < (1 << count_); ++i) cpu_relax();
+      ++count_;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  void reset() { count_ = 0; }
+
+ private:
+  static constexpr int kSpinLimit = 4;
+  int count_ = 0;
+};
+
+class SpinLock {
+ public:
+  void lock() {
+    Backoff b;
+    while (flag_.exchange(true, std::memory_order_acquire)) {
+      while (flag_.load(std::memory_order_relaxed)) b.pause();
+    }
+  }
+  bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace support

@@ -1,0 +1,61 @@
+// Bounded single-producer single-consumer ring buffer (Lamport queue with
+// cached indices). Used for per-pair fast paths in the smpi transport tests
+// and as a building block for failure-injection harnesses.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace support {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity_pow2 = 1024)
+      : mask_(round_up(capacity_pow2) - 1), slots_(mask_ + 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  bool try_push(T value) {
+    std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head - cached_tail_ > mask_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head - cached_tail_ > mask_) return false;
+    }
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool try_pop(T& out) {
+    std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == cached_head_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail == cached_head_) return false;
+    }
+    out = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  static std::size_t round_up(std::size_t n) {
+    std::size_t c = 2;
+    while (c < n) c <<= 1;
+    return c;
+  }
+
+  const std::size_t mask_;
+  std::vector<T> slots_;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  std::size_t cached_tail_ = 0;  // producer-local
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::size_t cached_head_ = 0;  // consumer-local
+};
+
+}  // namespace support

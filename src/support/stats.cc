@@ -1,0 +1,56 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace support {
+
+void Stats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / double(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Stats::variance() const { return n_ > 1 ? m2_ / double(n_ - 1) : 0.0; }
+
+double Stats::stddev() const { return std::sqrt(variance()); }
+
+double Percentiles::percentile(double p) {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (p <= 0) return samples_.front();
+  if (p >= 100) return samples_.back();
+  double rank = p / 100.0 * double(samples_.size() - 1);
+  std::size_t lo = std::size_t(rank);
+  double frac = rank - double(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+std::string format_ns(double ns) {
+  char buf[64];
+  if (ns < 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1f ns", ns);
+  } else if (ns < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f us", ns / 1e3);
+  } else if (ns < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", ns / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace support

@@ -1,0 +1,48 @@
+// Streaming statistics (Welford) and simple percentile accumulation, used by
+// the benchmark harnesses to summarize measured and simulated series.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace support {
+
+class Stats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Stores samples; percentile() sorts lazily.
+class Percentiles {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  // p in [0, 100]; linear interpolation between closest ranks.
+  double percentile(double p);
+  std::size_t count() const { return samples_.size(); }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+// Formats like "12.3 us" / "4.56 ms" from a nanosecond quantity.
+std::string format_ns(double ns);
+
+}  // namespace support

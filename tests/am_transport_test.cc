@@ -1,0 +1,129 @@
+// The DDDF space over the GASNet-flavored active-message transport: the
+// same APGNS programs, zero MPI involved (paper §I's portability claim).
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "dddf/am_transport.h"
+#include "dddf/space.h"
+
+namespace {
+
+// Runs body(rank, space) on `ranks` plain threads, each with its own hc
+// runtime and an AM-backed space.
+void run_am(int ranks,
+            const std::function<void(int, dddf::Space&)>& body) {
+  auto bus = std::make_shared<dddf::AmBus>(ranks);
+  std::vector<std::thread> threads;
+  for (int r = 0; r < ranks; ++r) {
+    threads.emplace_back([&, r] {
+      dddf::SpaceConfig cfg{
+          .home = [ranks](dddf::Guid g) { return int(g % dddf::Guid(ranks)); },
+          .size = [](dddf::Guid) { return std::size_t(64); },
+      };
+      dddf::Space space(std::make_unique<dddf::AmTransport>(bus, r),
+                        std::move(cfg));
+      hc::Runtime rt({.num_workers = 2});
+      rt.launch([&] {
+        body(r, space);
+        space.finalize();
+      });
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+TEST(AmTransport, LocalPutGet) {
+  run_am(2, [](int rank, dddf::Space& space) {
+    dddf::Guid mine = dddf::Guid(rank);
+    space.put_value<int>(mine, rank * 5);
+    EXPECT_EQ(space.get_value<int>(mine), rank * 5);
+  });
+}
+
+TEST(AmTransport, RemoteAwaitDelivers) {
+  run_am(2, [](int rank, dddf::Space& space) {
+    dddf::Guid mine = dddf::Guid(rank);
+    dddf::Guid theirs = dddf::Guid(1 - rank);
+    std::atomic<int> got{-1};
+    hc::finish([&] {
+      space.async_await({theirs}, [&] {
+        got.store(space.get_value<int>(theirs));
+      });
+      space.put_value<int>(mine, 100 + rank);
+    });
+    EXPECT_EQ(got.load(), 100 + (1 - rank));
+  });
+}
+
+TEST(AmTransport, ChainValueCorrect) {
+  constexpr int kRanks = 3, kDepth = 10;
+  std::atomic<int> final_value{-1};
+  run_am(kRanks, [&](int rank, dddf::Space& space) {
+    hc::finish([&] {
+      for (int k = 0; k < kDepth; ++k) {
+        if (int(dddf::Guid(k) % kRanks) != rank) continue;
+        if (k == 0) {
+          space.put_value<int>(0, 1);
+        } else {
+          dddf::Guid prev = dddf::Guid(k - 1);
+          space.async_await({prev}, [&space, prev, k] {
+            space.put_value<int>(dddf::Guid(k),
+                                 space.get_value<int>(prev) + 1);
+          });
+        }
+      }
+    });
+    space.finalize();
+    if (space.is_home(dddf::Guid(kDepth - 1))) {
+      final_value.store(space.get_value<int>(dddf::Guid(kDepth - 1)));
+    }
+  });
+  EXPECT_EQ(final_value.load(), kDepth);
+}
+
+TEST(AmTransport, AtMostOnceTransfer) {
+  std::atomic<std::uint64_t> transfers{0};
+  run_am(2, [&](int rank, dddf::Space& space) {
+    dddf::Guid g = 0;  // homed at rank 0
+    if (rank == 0) {
+      space.put_value<int>(g, 9);
+    } else {
+      std::atomic<int> sum{0};
+      hc::finish([&] {
+        for (int i = 0; i < 16; ++i) {
+          space.async_await({g}, [&] {
+            sum.fetch_add(space.get_value<int>(g));
+          });
+        }
+      });
+      EXPECT_EQ(sum.load(), 144);
+    }
+    space.finalize();
+    if (rank == 0) transfers.store(space.data_messages_sent());
+  });
+  EXPECT_EQ(transfers.load(), 1u);
+}
+
+TEST(AmTransport, ManyRanksFanIn) {
+  constexpr int kRanks = 5;
+  run_am(kRanks, [](int rank, dddf::Space& space) {
+    space.put_value<int>(dddf::Guid(rank), rank + 1);
+    std::atomic<int> total{0};
+    std::vector<dddf::Guid> all;
+    for (int r = 0; r < kRanks; ++r) all.push_back(dddf::Guid(r));
+    hc::finish([&] {
+      space.async_await(all, [&] {
+        int s = 0;
+        for (dddf::Guid g : all) s += space.get_value<int>(g);
+        total.store(s);
+      });
+    });
+    EXPECT_EQ(total.load(), 15);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,212 @@
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "dddf/space.h"
+#include "hcmpi/context.h"
+#include "smpi/world.h"
+
+namespace {
+
+dddf::SpaceConfig cyclic(int ranks) {
+  return {
+      .home = [ranks](dddf::Guid g) { return int(g % dddf::Guid(ranks)); },
+      .size = [](dddf::Guid) { return std::size_t(64); },
+  };
+}
+
+void run_space(int ranks, int workers,
+               const std::function<void(hcmpi::Context&, dddf::Space&)>& body) {
+  smpi::World::run(ranks, [&](smpi::Comm& comm) {
+    hcmpi::Context ctx(comm, {.num_workers = workers});
+    dddf::Space space(ctx, cyclic(ranks));
+    ctx.run([&] {
+      body(ctx, space);
+      space.finalize();
+    });
+  });
+}
+
+TEST(Dddf, LocalPutGet) {
+  run_space(2, 2, [](hcmpi::Context& ctx, dddf::Space& space) {
+    dddf::Guid g = dddf::Guid(ctx.rank());  // homed here
+    EXPECT_TRUE(space.is_home(g));
+    space.put_value<int>(g, ctx.rank() * 10);
+    EXPECT_EQ(space.get_value<int>(g), ctx.rank() * 10);
+  });
+}
+
+TEST(Dddf, PutOnNonHomeRankThrows) {
+  run_space(2, 2, [](hcmpi::Context& ctx, dddf::Space& space) {
+    dddf::Guid foreign = dddf::Guid((ctx.rank() + 1) % 2);
+    EXPECT_THROW(space.put_value<int>(foreign, 1), std::logic_error);
+    // Everyone still has to produce their own value so finalize is clean.
+    space.put_value<int>(dddf::Guid(ctx.rank()), 1);
+  });
+}
+
+TEST(Dddf, GetBeforeArrivalThrows) {
+  run_space(2, 2, [](hcmpi::Context& ctx, dddf::Space& space) {
+    dddf::Guid mine = dddf::Guid(ctx.rank());
+    EXPECT_THROW(space.get(mine), hc::PrematureGet);
+    space.put_value<int>(mine, 0);
+  });
+}
+
+TEST(Dddf, RemoteAwaitDeliversValue) {
+  run_space(2, 2, [](hcmpi::Context& ctx, dddf::Space& space) {
+    // Rank 0 produces guid 0; rank 1 consumes it (and vice versa with 1).
+    dddf::Guid mine = dddf::Guid(ctx.rank());
+    dddf::Guid theirs = dddf::Guid(1 - ctx.rank());
+    std::atomic<int> got{-1};
+    hc::finish([&] {
+      space.async_await({theirs}, [&] {
+        got.store(space.get_value<int>(theirs));
+      });
+      space.put_value<int>(mine, 100 + ctx.rank());
+    });
+    EXPECT_EQ(got.load(), 100 + (1 - ctx.rank()));
+  });
+}
+
+TEST(Dddf, ManyConsumersOneTransfer) {
+  // "The data transfer from home to remote happens at most once" (§III-B).
+  std::atomic<std::uint64_t> transfers{0};
+  smpi::World::run(2, [&](smpi::Comm& comm) {
+    hcmpi::Context ctx(comm, {.num_workers = 2});
+    dddf::Space space(ctx, cyclic(2));
+    ctx.run([&] {
+      dddf::Guid g = 0;  // homed at rank 0
+      if (ctx.rank() == 0) {
+        space.put_value<int>(g, 7);
+      } else {
+        std::atomic<int> sum{0};
+        hc::finish([&] {
+          for (int i = 0; i < 20; ++i) {
+            space.async_await({g}, [&] {
+              sum.fetch_add(space.get_value<int>(g));
+            });
+          }
+        });
+        EXPECT_EQ(sum.load(), 140);
+      }
+      space.finalize();
+      if (ctx.rank() == 0) transfers.store(space.data_messages_sent());
+    });
+  });
+  EXPECT_EQ(transfers.load(), 1u);
+}
+
+TEST(Dddf, AwaitPostedBeforeProducerRuns) {
+  // Registration reaches home before the put: the pending list path.
+  run_space(2, 2, [](hcmpi::Context& ctx, dddf::Space& space) {
+    dddf::Guid g0 = 0, g1 = 1;
+    if (ctx.rank() == 1) {
+      std::atomic<int> got{-1};
+      hc::finish([&] {
+        space.async_await({g0}, [&] { got.store(space.get_value<int>(g0)); });
+      });
+      EXPECT_EQ(got.load(), 5);
+      space.put_value<int>(g1, 0);
+    } else {
+      // Give the remote registration time to land first.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      space.put_value<int>(g0, 5);
+    }
+  });
+}
+
+TEST(Dddf, ChainAcrossRanks) {
+  // guid k is produced by rank k%R from guid k-1's value: a distributed
+  // dataflow pipeline with no explicit messages.
+  const int ranks = 3, depth = 12;
+  std::atomic<int> final_value{-1};
+  smpi::World::run(ranks, [&](smpi::Comm& comm) {
+    hcmpi::Context ctx(comm, {.num_workers = 2});
+    dddf::Space space(ctx, cyclic(ranks));
+    ctx.run([&] {
+      hc::finish([&] {
+        for (int k = 0; k < depth; ++k) {
+          if (int(dddf::Guid(k) % ranks) != ctx.rank()) continue;
+          if (k == 0) {
+            space.put_value<int>(0, 1);
+          } else {
+            dddf::Guid prev = dddf::Guid(k - 1);
+            space.async_await({prev}, [&space, prev, k] {
+              space.put_value<int>(dddf::Guid(k),
+                                   space.get_value<int>(prev) + 1);
+            });
+          }
+        }
+      });
+      space.finalize();
+      dddf::Guid last = dddf::Guid(depth - 1);
+      if (space.is_home(last)) final_value.store(space.get_value<int>(last));
+    });
+  });
+  EXPECT_EQ(final_value.load(), depth);
+}
+
+TEST(Dddf, MultiInputAwait) {
+  run_space(3, 2, [](hcmpi::Context& ctx, dddf::Space& space) {
+    // guid r is produced by rank r; rank 0 additionally combines all three.
+    space.put_value<int>(dddf::Guid(ctx.rank()), (ctx.rank() + 1) * 3);
+    if (ctx.rank() == 0) {
+      std::atomic<int> total{0};
+      hc::finish([&] {
+        space.async_await({0, 1, 2}, [&] {
+          total.store(space.get_value<int>(0) + space.get_value<int>(1) +
+                      space.get_value<int>(2));
+        });
+      });
+      EXPECT_EQ(total.load(), 18);
+    }
+  });
+}
+
+TEST(Dddf, LargePayloadRoundTrip) {
+  run_space(2, 2, [](hcmpi::Context& ctx, dddf::Space& space) {
+    dddf::Guid mine = dddf::Guid(ctx.rank());
+    dddf::Guid theirs = dddf::Guid(1 - ctx.rank());
+    dddf::Bytes blob(100000);
+    for (std::size_t i = 0; i < blob.size(); ++i) {
+      blob[i] = std::uint8_t((i * 31 + std::size_t(ctx.rank())) & 0xFF);
+    }
+    std::atomic<bool> ok{false};
+    hc::finish([&] {
+      space.async_await({theirs}, [&] {
+        const dddf::Bytes& got = space.get(theirs);
+        bool match = got.size() == 100000;
+        for (std::size_t i = 0; match && i < got.size(); i += 997) {
+          match = got[i] ==
+                  std::uint8_t((i * 31 + std::size_t(1 - ctx.rank())) & 0xFF);
+        }
+        ok.store(match);
+      });
+      space.put(mine, blob);
+    });
+    EXPECT_TRUE(ok.load());
+  });
+}
+
+TEST(Dddf, RegistrationCountersExposed) {
+  std::atomic<std::uint64_t> regs{0};
+  smpi::World::run(2, [&](smpi::Comm& comm) {
+    hcmpi::Context ctx(comm, {.num_workers = 2});
+    dddf::Space space(ctx, cyclic(2));
+    ctx.run([&] {
+      if (ctx.rank() == 0) {
+        space.put_value<int>(0, 1);
+      } else {
+        hc::finish([&] { space.async_await({0}, [] {}); });
+      }
+      space.finalize();
+      if (ctx.rank() == 0) regs.store(space.registrations_received());
+    });
+  });
+  EXPECT_EQ(regs.load(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,219 @@
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "core/ddf.h"
+
+namespace {
+
+TEST(Ddf, PutThenGet) {
+  hc::Ddf<int> d;
+  EXPECT_FALSE(d.satisfied());
+  d.put(17);
+  EXPECT_TRUE(d.satisfied());
+  EXPECT_EQ(d.get(), 17);
+}
+
+TEST(Ddf, GetBeforePutThrows) {
+  hc::Ddf<int> d;
+  EXPECT_THROW(d.get(), hc::PrematureGet);
+}
+
+TEST(Ddf, DoublePutThrows) {
+  hc::Ddf<int> d;
+  d.put(1);
+  EXPECT_THROW(d.put(2), hc::SingleAssignmentViolation);
+  EXPECT_EQ(d.get(), 1);  // first value survives
+}
+
+TEST(Ddf, NonTrivialPayload) {
+  hc::Ddf<std::string> d;
+  d.put(std::string(1000, 'q'));
+  EXPECT_EQ(d.get().size(), 1000u);
+}
+
+TEST(Ddf, AwaitAlreadySatisfied) {
+  hc::Runtime rt({.num_workers = 2});
+  rt.launch([&] {
+    auto d = hc::ddf_create<int>();
+    d->put(5);
+    int got = 0;
+    hc::finish([&] {
+      hc::async_await([&, d] { got = d->get(); }, d);
+    });
+    EXPECT_EQ(got, 5);
+  });
+}
+
+TEST(Ddf, AwaitBlocksUntilPut) {
+  hc::Runtime rt({.num_workers = 2});
+  rt.launch([&] {
+    auto d = hc::ddf_create<int>();
+    std::atomic<int> got{-1};
+    hc::finish([&] {
+      hc::async_await([&, d] { got.store(d->get()); }, d);
+      hc::async([d] { d->put(99); });
+    });
+    EXPECT_EQ(got.load(), 99);
+  });
+}
+
+TEST(Ddf, AndListWaitsForAll) {
+  hc::Runtime rt({.num_workers = 2});
+  rt.launch([&] {
+    auto a = hc::ddf_create<int>(), b = hc::ddf_create<int>(),
+         c = hc::ddf_create<int>();
+    std::atomic<int> sum{0};
+    hc::finish([&] {
+      hc::async_await(std::vector<hc::DdfBase*>{a.get(), b.get(), c.get()},
+                      [&, a, b, c] { sum = a->get() + b->get() + c->get(); });
+      hc::async([a] { a->put(1); });
+      hc::async([b] { b->put(2); });
+      hc::async([c] { c->put(4); });
+    });
+    EXPECT_EQ(sum.load(), 7);
+  });
+}
+
+TEST(Ddf, OrListFiresExactlyOnce) {
+  hc::Runtime rt({.num_workers = 3});
+  rt.launch([&] {
+    auto a = hc::ddf_create<int>(), b = hc::ddf_create<int>();
+    std::atomic<int> fires{0};
+    hc::finish([&] {
+      hc::async_await_any(std::vector<hc::DdfBase*>{a.get(), b.get()},
+                          [&] { fires.fetch_add(1); });
+      // Both puts race; the token bit must admit exactly one release
+      // (paper Fig. 12).
+      hc::async([a] { a->put(1); });
+      hc::async([b] { b->put(2); });
+    });
+    EXPECT_EQ(fires.load(), 1);
+  });
+}
+
+TEST(Ddf, OrListAlreadySatisfiedInput) {
+  hc::Runtime rt({.num_workers = 2});
+  rt.launch([&] {
+    auto a = hc::ddf_create<int>(), b = hc::ddf_create<int>();
+    a->put(1);
+    std::atomic<int> fires{0};
+    hc::finish([&] {
+      hc::async_await_any(std::vector<hc::DdfBase*>{a.get(), b.get()},
+                          [&] { fires.fetch_add(1); });
+    });
+    EXPECT_EQ(fires.load(), 1);
+    b->put(2);  // late put on the other input must be harmless
+  });
+}
+
+TEST(Ddf, PipelineChain) {
+  hc::Runtime rt({.num_workers = 2});
+  rt.launch([&] {
+    constexpr int kDepth = 200;
+    std::vector<hc::DdfPtr<int>> links;
+    for (int i = 0; i <= kDepth; ++i) links.push_back(hc::ddf_create<int>());
+    hc::finish([&] {
+      for (int i = 0; i < kDepth; ++i) {
+        hc::async_await([&, i] { links[i + 1]->put(links[i]->get() + 1); },
+                        links[std::size_t(i)]);
+      }
+      links[0]->put(0);
+    });
+    EXPECT_EQ(links[kDepth]->get(), kDepth);
+  });
+}
+
+TEST(Ddf, WideFanout) {
+  hc::Runtime rt({.num_workers = 4});
+  rt.launch([&] {
+    auto src = hc::ddf_create<int>();
+    std::atomic<int> sum{0};
+    hc::finish([&] {
+      for (int i = 0; i < 500; ++i) {
+        hc::async_await([&, src] { sum.fetch_add(src->get()); }, src);
+      }
+      hc::async([src] { src->put(3); });
+    });
+    EXPECT_EQ(sum.load(), 1500);
+  });
+}
+
+TEST(Ddf, DiamondDependencies) {
+  hc::Runtime rt({.num_workers = 2});
+  rt.launch([&] {
+    auto top = hc::ddf_create<int>(), l = hc::ddf_create<int>(),
+         r = hc::ddf_create<int>(), bottom = hc::ddf_create<int>();
+    hc::finish([&] {
+      hc::async_await([=] { l->put(top->get() * 2); }, top);
+      hc::async_await([=] { r->put(top->get() * 3); }, top);
+      hc::async_await(std::vector<hc::DdfBase*>{l.get(), r.get()},
+                      [=] { bottom->put(l->get() + r->get()); });
+      top->put(1);
+    });
+    EXPECT_EQ(bottom->get(), 5);
+  });
+}
+
+TEST(Ddf, ConcurrentPutRaceOneWins) {
+  // Two racing put attempts: exactly one must succeed, the other must see
+  // SingleAssignmentViolation, and waiters observe a consistent value.
+  for (int round = 0; round < 20; ++round) {
+    hc::Ddf<int> d;
+    std::atomic<int> errors{0};
+    std::thread t1([&] {
+      try {
+        d.put(1);
+      } catch (const hc::SingleAssignmentViolation&) {
+        errors.fetch_add(1);
+      }
+    });
+    std::thread t2([&] {
+      try {
+        d.put(2);
+      } catch (const hc::SingleAssignmentViolation&) {
+        errors.fetch_add(1);
+      }
+    });
+    t1.join();
+    t2.join();
+    EXPECT_EQ(errors.load(), 1);
+    int v = d.get();
+    EXPECT_TRUE(v == 1 || v == 2);
+  }
+}
+
+class DdfFanoutWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(DdfFanoutWidth, AndListOfWidthN) {
+  const int n = GetParam();
+  hc::Runtime rt({.num_workers = 2});
+  rt.launch([&] {
+    std::vector<hc::DdfPtr<int>> deps;
+    std::vector<hc::DdfBase*> raw;
+    for (int i = 0; i < n; ++i) {
+      deps.push_back(hc::ddf_create<int>());
+      raw.push_back(deps.back().get());
+    }
+    std::atomic<long long> sum{0};
+    hc::finish([&] {
+      hc::async_await(raw, [&, deps] {
+        long long s = 0;
+        for (auto& d : deps) s += d->get();
+        sum.store(s);
+      });
+      for (int i = 0; i < n; ++i) {
+        hc::async([d = deps[std::size_t(i)], i] { d->put(i); });
+      }
+    });
+    EXPECT_EQ(sum.load(), (long long)n * (n - 1) / 2);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, DdfFanoutWidth,
+                         ::testing::Values(1, 2, 3, 8, 33, 128));
+
+}  // namespace

@@ -1,0 +1,337 @@
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "core/ddf.h"
+#include "hcmpi/context.h"
+#include "hcmpi/phaser_bridge.h"
+#include "smpi/world.h"
+
+namespace {
+
+// Helper: run `body(ctx)` on `ranks` ranks, each with an HCMPI context.
+void run_hcmpi(int ranks, int workers,
+               const std::function<void(hcmpi::Context&)>& body) {
+  smpi::World::run(ranks, [&](smpi::Comm& comm) {
+    hcmpi::Context ctx(comm, {.num_workers = workers});
+    ctx.run([&] { body(ctx); });
+  });
+}
+
+TEST(Hcmpi, SendRecvBlocking) {
+  run_hcmpi(2, 2, [](hcmpi::Context& ctx) {
+    if (ctx.rank() == 0) {
+      int v = 31337;
+      ctx.send(&v, sizeof v, 1, 1);
+    } else {
+      int got = 0;
+      hcmpi::Status st;
+      ctx.recv(&got, sizeof got, 0, 1, &st);
+      EXPECT_EQ(got, 31337);
+      EXPECT_EQ(hcmpi::Context::get_count(st, hcmpi::Datatype::kInt), 1);
+    }
+  });
+}
+
+TEST(Hcmpi, FinishImplementsBlockingRecv) {
+  // Paper Fig. 3: a finish around HCMPI_Irecv implements HCMPI_Recv.
+  run_hcmpi(2, 2, [](hcmpi::Context& ctx) {
+    if (ctx.rank() == 0) {
+      int v = 8;
+      // The send buffer must stay live until the communication task
+      // completes (standard MPI rule) — scope it with a finish.
+      hc::finish([&] { ctx.isend(&v, sizeof v, 1, 2); });
+    } else {
+      int got = 0;
+      hc::finish([&] { ctx.irecv(&got, sizeof got, 0, 2); });
+      EXPECT_EQ(got, 8);  // guaranteed complete after finish
+    }
+  });
+}
+
+TEST(Hcmpi, AwaitModelRunsTaskOnArrival) {
+  // Paper Fig. 4: async AWAIT(r) IN(recv_buf) { read recv_buf }.
+  run_hcmpi(2, 2, [](hcmpi::Context& ctx) {
+    if (ctx.rank() == 0) {
+      int v = 55;
+      ctx.send(&v, sizeof v, 1, 3);
+    } else {
+      int buf = 0;
+      std::atomic<int> seen{0};
+      hc::finish([&] {
+        hcmpi::RequestHandle r = ctx.irecv(&buf, sizeof buf, 0, 3);
+        hc::async_await({r.get()}, [&] { seen.store(buf); });
+      });
+      EXPECT_EQ(seen.load(), 55);
+    }
+  });
+}
+
+TEST(Hcmpi, WaitAndStatusModel) {
+  // Paper Fig. 5: Irecv + Wait + Get_count.
+  run_hcmpi(2, 2, [](hcmpi::Context& ctx) {
+    if (ctx.rank() == 0) {
+      std::vector<int> vals{1, 2, 3, 4, 5};
+      ctx.send(vals.data(), vals.size() * sizeof(int), 1, 4);
+    } else {
+      std::vector<int> buf(16, 0);
+      hcmpi::RequestHandle r =
+          ctx.irecv(buf.data(), buf.size() * sizeof(int), 0, 4);
+      hcmpi::Status st;
+      ctx.wait(r, &st);
+      EXPECT_EQ(hcmpi::Context::get_count(st, hcmpi::Datatype::kInt), 5);
+      EXPECT_EQ(buf[4], 5);
+    }
+  });
+}
+
+TEST(Hcmpi, WaitallAndTestall) {
+  run_hcmpi(2, 2, [](hcmpi::Context& ctx) {
+    constexpr int kN = 16;
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < kN; ++i) ctx.send(&i, sizeof i, 1, 10 + i);
+    } else {
+      std::vector<int> bufs(kN, -1);
+      std::vector<hcmpi::RequestHandle> rs;
+      for (int i = 0; i < kN; ++i) {
+        rs.push_back(ctx.irecv(&bufs[std::size_t(i)], sizeof(int), 0, 10 + i));
+      }
+      ctx.waitall(rs);
+      EXPECT_TRUE(ctx.testall(rs));
+      for (int i = 0; i < kN; ++i) EXPECT_EQ(bufs[std::size_t(i)], i);
+    }
+  });
+}
+
+TEST(Hcmpi, WaitanyPicksTheArrivedOne) {
+  run_hcmpi(2, 2, [](hcmpi::Context& ctx) {
+    if (ctx.rank() == 0) {
+      int v = 3;
+      ctx.send(&v, sizeof v, 1, 21);
+    } else {
+      int a = 0, b = 0;
+      std::vector<hcmpi::RequestHandle> rs{
+          ctx.irecv(&a, sizeof a, 0, 20),  // never sent
+          ctx.irecv(&b, sizeof b, 0, 21)};
+      hcmpi::Status st;
+      int idx = ctx.waitany(rs, &st);
+      EXPECT_EQ(idx, 1);
+      EXPECT_EQ(b, 3);
+      EXPECT_TRUE(ctx.cancel(rs[0]));
+    }
+  });
+}
+
+TEST(Hcmpi, CancelNeverMatchedRecv) {
+  run_hcmpi(2, 2, [](hcmpi::Context& ctx) {
+    if (ctx.rank() == 1) {
+      int buf = 0;
+      hcmpi::RequestHandle r = ctx.irecv(&buf, sizeof buf, 0, 1000);
+      EXPECT_TRUE(ctx.cancel(r));
+      hcmpi::Status st;
+      EXPECT_TRUE(ctx.test(r, &st));
+      EXPECT_TRUE(st.cancelled);
+    }
+  });
+}
+
+TEST(Hcmpi, CommTaskSlotsAreRecycled) {
+  // The ALLOCATED->...->AVAILABLE lifecycle (paper Fig. 11): sequential
+  // operations must reuse pooled slots instead of growing without bound.
+  run_hcmpi(2, 1, [](hcmpi::Context& ctx) {
+    int v = 1;
+    for (int i = 0; i < 200; ++i) {
+      if (ctx.rank() == 0) {
+        ctx.send(&v, sizeof v, 1, 5);
+      } else {
+        ctx.recv(&v, sizeof v, 0, 5);
+      }
+    }
+    EXPECT_GT(ctx.tasks_recycled(), 100u);
+  });
+}
+
+TEST(Hcmpi, ManyConcurrentMessagesThroughOneCommWorker) {
+  run_hcmpi(2, 3, [](hcmpi::Context& ctx) {
+    constexpr int kN = 128;
+    if (ctx.rank() == 0) {
+      hc::finish([&] {
+        for (int i = 0; i < kN; ++i) {
+          hc::async([&ctx, i] {
+            int v = i;
+            ctx.send(&v, sizeof v, 1, 100 + i);
+          });
+        }
+      });
+    } else {
+      std::vector<int> got(kN, -1);
+      hc::finish([&] {
+        for (int i = 0; i < kN; ++i) {
+          ctx.irecv(&got[std::size_t(i)], sizeof(int), 0, 100 + i);
+        }
+      });
+      long long sum = std::accumulate(got.begin(), got.end(), 0LL);
+      EXPECT_EQ(sum, (long long)kN * (kN - 1) / 2);
+    }
+  });
+}
+
+// --- collectives -----------------------------------------------------------------
+
+class HcmpiCollectives : public ::testing::TestWithParam<int> {};
+
+TEST_P(HcmpiCollectives, BarrierSynchronizes) {
+  const int p = GetParam();
+  std::atomic<int> entered{0};
+  std::atomic<bool> violated{false};
+  run_hcmpi(p, 2, [&](hcmpi::Context& ctx) {
+    for (int round = 1; round <= 3; ++round) {
+      entered.fetch_add(1);
+      ctx.barrier();
+      if (entered.load() < round * ctx.size()) violated.store(true);
+    }
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST_P(HcmpiCollectives, AllreduceSum) {
+  const int p = GetParam();
+  run_hcmpi(p, 2, [&](hcmpi::Context& ctx) {
+    long mine = ctx.rank() + 1;
+    long out = -1;
+    ctx.allreduce(&mine, &out, 1, hcmpi::Datatype::kLong, hcmpi::Op::kSum);
+    EXPECT_EQ(out, long(p) * (p + 1) / 2);
+  });
+}
+
+TEST_P(HcmpiCollectives, BcastReduceScanGatherScatter) {
+  const int p = GetParam();
+  run_hcmpi(p, 2, [&](hcmpi::Context& ctx) {
+    int r = ctx.rank();
+    int x = r == 0 ? 42 : -1;
+    ctx.bcast(&x, sizeof x, 0);
+    EXPECT_EQ(x, 42);
+
+    int red = -1;
+    ctx.reduce(&r, &red, 1, hcmpi::Datatype::kInt, hcmpi::Op::kMax, 0);
+    if (r == 0) {
+      EXPECT_EQ(red, p - 1);
+    }
+
+    int scanned = -1;
+    int one = 1;
+    ctx.scan(&one, &scanned, 1, hcmpi::Datatype::kInt, hcmpi::Op::kSum);
+    EXPECT_EQ(scanned, r + 1);
+
+    std::vector<int> all(std::size_t(p), -1);
+    int mine = r * 2;
+    ctx.gather(&mine, sizeof mine, all.data(), 0);
+    if (r == 0) {
+      for (int i = 0; i < p; ++i) EXPECT_EQ(all[std::size_t(i)], 2 * i);
+    }
+    int got = -1;
+    ctx.scatter(all.data(), sizeof got, &got, 0);
+    if (r == 0) {
+      EXPECT_EQ(got, 0);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, HcmpiCollectives,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(Hcmpi, NbBarrierCompletesOnAllRanks) {
+  run_hcmpi(4, 1, [](hcmpi::Context& ctx) {
+    hcmpi::RequestHandle r = ctx.submit_nb_barrier();
+    hcmpi::Context::block_until(r);
+    EXPECT_TRUE(r->satisfied());
+  });
+}
+
+TEST(Hcmpi, NbAllreduceMatchesBlocking) {
+  run_hcmpi(5, 1, [](hcmpi::Context& ctx) {
+    std::int64_t mine = (ctx.rank() + 1) * 10;
+    std::int64_t nb_out = -1;
+    auto r = ctx.submit_nb_allreduce(&mine, &nb_out, 1,
+                                     hcmpi::Datatype::kLong, hcmpi::Op::kSum);
+    hcmpi::Context::block_until(r);
+    EXPECT_EQ(nb_out, 150);
+  });
+}
+
+// --- hcmpi-phaser / hcmpi-accum -----------------------------------------------
+
+class HcmpiPhaserModes : public ::testing::TestWithParam<bool> {};
+
+TEST_P(HcmpiPhaserModes, PhaserBarrierAcrossRanksAndTasks) {
+  const bool fuzzy = GetParam();
+  const int ranks = 3, tasks = 3;
+  std::atomic<int> arrivals{0};
+  std::atomic<bool> violated{false};
+  run_hcmpi(ranks, tasks + 1, [&](hcmpi::Context& ctx) {
+    hcmpi::HcmpiPhaser ph(ctx, fuzzy);
+    hc::finish([&] {
+      for (int t = 0; t < tasks; ++t) {
+        auto* reg = ph.register_task(hc::PhaserMode::kSignalWait);
+        hc::async([&, reg] {
+          for (int phase = 1; phase <= 4; ++phase) {
+            arrivals.fetch_add(1);
+            ph.next(reg);
+            // Global barrier property: every task on every rank arrived.
+            if (arrivals.load() < phase * ranks * tasks) violated.store(true);
+          }
+          ph.drop(reg);
+        });
+      }
+    });
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(StrictAndFuzzy, HcmpiPhaserModes,
+                         ::testing::Values(false, true));
+
+TEST(Hcmpi, AccumulatorGlobalSum) {
+  const int ranks = 3, tasks = 2;
+  run_hcmpi(ranks, tasks + 1, [&](hcmpi::Context& ctx) {
+    hcmpi::HcmpiAccum<std::int64_t> acc(ctx, hc::ReduceOp::kSum);
+    std::atomic<bool> ok{true};
+    hc::finish([&] {
+      for (int t = 0; t < tasks; ++t) {
+        auto* reg = acc.register_task();
+        hc::async([&, reg] {
+          // Every task everywhere contributes 5: global sum = 5 * 6.
+          acc.accum_next(reg, 5);
+          if (acc.accum_get(reg) != 5 * ranks * tasks) ok.store(false);
+          acc.drop(reg);
+        });
+      }
+    });
+    EXPECT_TRUE(ok.load());
+  });
+}
+
+TEST(Hcmpi, AccumulatorDoubleMax) {
+  run_hcmpi(4, 2, [&](hcmpi::Context& ctx) {
+    hcmpi::HcmpiAccum<double> acc(ctx, hc::ReduceOp::kMax);
+    auto* reg = acc.register_task();
+    acc.accum_next(reg, double(ctx.rank()) * 1.5);
+    EXPECT_DOUBLE_EQ(acc.accum_get(reg), 4.5);
+    acc.drop(reg);
+  });
+}
+
+TEST(Hcmpi, SingleRankWorld) {
+  run_hcmpi(1, 2, [](hcmpi::Context& ctx) {
+    EXPECT_EQ(ctx.size(), 1);
+    ctx.barrier();
+    int v = 7, out = 0;
+    ctx.allreduce(&v, &out, 1, hcmpi::Datatype::kInt, hcmpi::Op::kSum);
+    EXPECT_EQ(out, 7);
+  });
+}
+
+}  // namespace

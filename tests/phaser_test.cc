@@ -1,0 +1,284 @@
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/accumulator.h"
+#include "core/phaser.h"
+
+namespace {
+
+// Phaser tests use raw threads (not the hc runtime): phaser `next` blocks
+// its OS thread, so tests must guarantee one thread per registration.
+
+TEST(Phaser, SingleTaskAdvancesFreely) {
+  hc::Phaser ph;
+  auto* reg = ph.register_task(hc::PhaserMode::kSignalWait);
+  for (int i = 0; i < 10; ++i) ph.next(reg);
+  EXPECT_EQ(ph.phase(), 10u);
+}
+
+TEST(Phaser, TwoTasksLockstep) {
+  hc::Phaser ph;
+  auto* r1 = ph.register_task(hc::PhaserMode::kSignalWait);
+  auto* r2 = ph.register_task(hc::PhaserMode::kSignalWait);
+  constexpr int kPhases = 100;
+  std::atomic<int> in_phase[2] = {{0}, {0}};
+  auto body = [&](hc::Phaser::Registration* reg, int idx) {
+    for (int p = 0; p < kPhases; ++p) {
+      in_phase[idx].store(p);
+      ph.next(reg);
+      // After next, the peer must have reached at least this phase.
+      EXPECT_GE(in_phase[1 - idx].load(), p);
+    }
+  };
+  std::thread t1(body, r1, 0), t2(body, r2, 1);
+  t1.join();
+  t2.join();
+  EXPECT_EQ(ph.phase(), kPhases);
+}
+
+class PhaserBarrier : public ::testing::TestWithParam<int> {};
+
+TEST_P(PhaserBarrier, NoTaskEntersPhaseBeforeAllSignalPrevious) {
+  const int n = GetParam();
+  hc::Phaser ph;
+  std::vector<hc::Phaser::Registration*> regs;
+  for (int i = 0; i < n; ++i) {
+    regs.push_back(ph.register_task(hc::PhaserMode::kSignalWait));
+  }
+  constexpr int kPhases = 25;
+  std::atomic<int> arrived{0};
+  std::atomic<bool> violation{false};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back([&, i] {
+      for (int p = 0; p < kPhases; ++p) {
+        arrived.fetch_add(1);
+        ph.next(regs[std::size_t(i)]);
+        // Everyone must have arrived at phase p before anyone proceeds.
+        if (arrived.load() < (p + 1) * n) violation.store(true);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(ph.phase(), kPhases);
+}
+
+INSTANTIATE_TEST_SUITE_P(TaskCounts, PhaserBarrier,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16, 31));
+
+TEST(Phaser, SignalOnlyDoesNotBlockOnSlowWaiters) {
+  hc::Phaser ph;
+  auto* fast = ph.register_task(hc::PhaserMode::kSignalOnly);
+  auto* slow = ph.register_task(hc::PhaserMode::kSignalWait);
+  // The signal-only task can run up to the drift bound (2 phases ahead)
+  // without the slow task signalling.
+  std::thread t([&] {
+    ph.next(fast);  // phase 0
+    ph.next(fast);  // phase 1
+  });
+  t.join();  // must complete without slow ever calling next
+  ph.next(slow);  // completes phase 0
+  EXPECT_GE(ph.phase(), 1u);
+  ph.next(slow);
+  EXPECT_GE(ph.phase(), 2u);
+  ph.drop(fast);
+  ph.drop(slow);
+}
+
+TEST(Phaser, WaitOnlyObservesPhases) {
+  hc::Phaser ph;
+  auto* sig = ph.register_task(hc::PhaserMode::kSignalOnly);
+  auto* wait = ph.register_task(hc::PhaserMode::kWaitOnly);
+  std::thread waiter([&] {
+    ph.next(wait);  // waits for phase 0 to complete
+    EXPECT_GE(ph.phase(), 1u);
+  });
+  ph.next(sig);
+  waiter.join();
+  ph.drop(sig);
+}
+
+TEST(Phaser, DropReleasesWaiters) {
+  hc::Phaser ph;
+  auto* a = ph.register_task(hc::PhaserMode::kSignalWait);
+  auto* b = ph.register_task(hc::PhaserMode::kSignalWait);
+  std::thread t([&] {
+    ph.next(a);  // would deadlock if b's drop didn't pay its signal
+    ph.next(a);
+  });
+  ph.drop(b);  // departing task signs off its outstanding phases
+  t.join();
+  EXPECT_GE(ph.phase(), 2u);
+}
+
+TEST(Phaser, DynamicRegistrationMidStream) {
+  hc::Phaser ph;
+  auto* parent = ph.register_task(hc::PhaserMode::kSignalWait);
+  ph.next(parent);  // phase 0 done
+  // Parent (unsignalled for phase 1) registers a child into phase 1.
+  auto* child = ph.register_task(hc::PhaserMode::kSignalWait, parent);
+  std::atomic<bool> child_done{false};
+  std::thread t([&] {
+    ph.next(child);
+    child_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(ph.phase(), 1u);  // child alone cannot finish phase 1
+  ph.next(parent);
+  t.join();
+  EXPECT_TRUE(child_done.load());
+  EXPECT_EQ(ph.phase(), 2u);
+}
+
+TEST(Phaser, RegisteredSignalerCount) {
+  hc::Phaser ph;
+  auto* a = ph.register_task(hc::PhaserMode::kSignalWait);
+  auto* b = ph.register_task(hc::PhaserMode::kSignalOnly);
+  ph.register_task(hc::PhaserMode::kWaitOnly);
+  EXPECT_EQ(ph.registered_signalers(), 2);
+  ph.drop(a);
+  EXPECT_EQ(ph.registered_signalers(), 1);
+  ph.drop(b);
+  EXPECT_EQ(ph.registered_signalers(), 0);
+}
+
+TEST(Phaser, ManyPhasesStress) {
+  hc::Phaser ph;
+  auto* r1 = ph.register_task(hc::PhaserMode::kSignalWait);
+  auto* r2 = ph.register_task(hc::PhaserMode::kSignalWait);
+  constexpr int kPhases = 2000;  // > 4 banks * many recycles
+  std::thread t([&] {
+    for (int i = 0; i < kPhases; ++i) ph.next(r2);
+  });
+  for (int i = 0; i < kPhases; ++i) ph.next(r1);
+  t.join();
+  EXPECT_EQ(ph.phase(), kPhases);
+}
+
+// --- hooks (strict/fuzzy) ----------------------------------------------------
+
+struct RecordingHook : hc::PhaserHook {
+  std::atomic<int> early{0}, boundary{0};
+  void early_start(std::uint64_t) override { early.fetch_add(1); }
+  void at_boundary(std::uint64_t) override { boundary.fetch_add(1); }
+};
+
+TEST(Phaser, StrictHookFiresOncePerPhase) {
+  hc::Phaser ph;
+  RecordingHook hook;
+  ph.set_hook(&hook, /*fuzzy=*/false);
+  auto* r = ph.register_task(hc::PhaserMode::kSignalWait);
+  for (int i = 0; i < 5; ++i) ph.next(r);
+  EXPECT_EQ(hook.boundary.load(), 5);
+  EXPECT_EQ(hook.early.load(), 0);  // strict mode never early-starts
+}
+
+TEST(Phaser, FuzzyHookEarlyStartsEachPhase) {
+  hc::Phaser ph;
+  RecordingHook hook;
+  ph.set_hook(&hook, /*fuzzy=*/true);
+  auto* r = ph.register_task(hc::PhaserMode::kSignalWait);
+  for (int i = 0; i < 5; ++i) ph.next(r);
+  EXPECT_EQ(hook.boundary.load(), 5);
+  EXPECT_EQ(hook.early.load(), 5);
+}
+
+TEST(Phaser, FuzzyEarlyStartExactlyOnceWithManySignalers) {
+  hc::Phaser ph;
+  RecordingHook hook;
+  ph.set_hook(&hook, /*fuzzy=*/true);
+  const int n = 8;
+  std::vector<hc::Phaser::Registration*> regs;
+  for (int i = 0; i < n; ++i) {
+    regs.push_back(ph.register_task(hc::PhaserMode::kSignalWait));
+  }
+  std::vector<std::thread> threads;
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back([&, i] {
+      for (int p = 0; p < 10; ++p) ph.next(regs[std::size_t(i)]);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(hook.early.load(), 10);
+  EXPECT_EQ(hook.boundary.load(), 10);
+}
+
+// --- accumulators --------------------------------------------------------------
+
+TEST(Accumulator, SumAcrossTasks) {
+  hc::Accumulator<std::int64_t> acc(hc::ReduceOp::kSum);
+  const int n = 6;
+  std::vector<hc::Phaser::Registration*> regs;
+  for (int i = 0; i < n; ++i) regs.push_back(acc.register_task(hc::PhaserMode::kSignalWait));
+  std::vector<std::thread> threads;
+  std::atomic<bool> wrong{false};
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back([&, i] {
+      acc.accum_next(regs[std::size_t(i)], i + 1);
+      if (acc.accum_get(regs[std::size_t(i)]) != n * (n + 1) / 2) {
+        wrong.store(true);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(wrong.load());
+}
+
+TEST(Accumulator, PerPhaseValuesIndependent) {
+  hc::Accumulator<std::int64_t> acc(hc::ReduceOp::kSum);
+  auto* r = acc.register_task(hc::PhaserMode::kSignalWait);
+  for (int p = 1; p <= 6; ++p) {
+    acc.accum_next(r, p * 10);
+    EXPECT_EQ(acc.accum_get(r), p * 10);
+  }
+}
+
+TEST(Accumulator, MinMaxProd) {
+  {
+    hc::Accumulator<std::int64_t> acc(hc::ReduceOp::kMin);
+    auto* a = acc.register_task(hc::PhaserMode::kSignalWait);
+    auto* b = acc.register_task(hc::PhaserMode::kSignalWait);
+    std::thread t([&] { acc.accum_next(b, -3); });
+    acc.accum_next(a, 7);
+    t.join();
+    EXPECT_EQ(acc.accum_get(a), -3);
+  }
+  {
+    hc::Accumulator<std::int64_t> acc(hc::ReduceOp::kProd);
+    auto* a = acc.register_task(hc::PhaserMode::kSignalWait);
+    auto* b = acc.register_task(hc::PhaserMode::kSignalWait);
+    std::thread t([&] { acc.accum_next(b, 5); });
+    acc.accum_next(a, 4);
+    t.join();
+    EXPECT_EQ(acc.accum_get(a), 20);
+  }
+}
+
+TEST(Accumulator, DoubleSum) {
+  hc::Accumulator<double> acc(hc::ReduceOp::kSum);
+  auto* a = acc.register_task(hc::PhaserMode::kSignalWait);
+  auto* b = acc.register_task(hc::PhaserMode::kSignalWait);
+  std::thread t([&] { acc.accum_next(b, 0.25); });
+  acc.accum_next(a, 0.5);
+  t.join();
+  EXPECT_DOUBLE_EQ(acc.accum_get(a), 0.75);
+}
+
+TEST(Accumulator, AllreduceHookReceivesLocalValue) {
+  hc::Accumulator<std::int64_t> acc(hc::ReduceOp::kSum);
+  std::atomic<std::int64_t> seen{0};
+  acc.set_allreduce([&](std::int64_t local, std::uint64_t) {
+    seen.store(local);
+    return local * 100;  // pretend the cluster multiplied it
+  });
+  auto* r = acc.register_task(hc::PhaserMode::kSignalWait);
+  acc.accum_next(r, 7);
+  EXPECT_EQ(seen.load(), 7);
+  EXPECT_EQ(acc.accum_get(r), 700);
+}
+
+}  // namespace

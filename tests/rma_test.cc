@@ -1,0 +1,167 @@
+// One-sided communication tests: smpi::Window (MPI-2 style core) and
+// hcmpi::HcmpiWindow (RMA as asynchronous communication tasks — the paper's
+// §VI future work implemented).
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "hcmpi/rma.h"
+#include "smpi/rma.h"
+#include "smpi/world.h"
+
+namespace {
+
+TEST(SmpiRma, PutIsVisibleAfterFence) {
+  smpi::World::run(4, [](smpi::Comm& comm) {
+    std::vector<int> local(4, -1);
+    smpi::Window win =
+        smpi::Window::create(comm, local.data(), local.size() * sizeof(int));
+    // Everyone writes its rank into slot `rank` of its right neighbour.
+    int me = comm.rank();
+    int right = (me + 1) % comm.size();
+    win.put(&me, sizeof me, right, std::size_t(me) * sizeof(int));
+    win.fence();
+    int left = (me - 1 + comm.size()) % comm.size();
+    EXPECT_EQ(local[std::size_t(left)], left);
+    win.free();
+  });
+}
+
+TEST(SmpiRma, GetReadsRemoteMemory) {
+  smpi::World::run(3, [](smpi::Comm& comm) {
+    int value = (comm.rank() + 1) * 11;
+    smpi::Window win = smpi::Window::create(comm, &value, sizeof value);
+    win.fence();  // everyone's value is initialized before reads start
+    int got = 0;
+    int target = (comm.rank() + 1) % comm.size();
+    win.get(&got, sizeof got, target, 0);
+    EXPECT_EQ(got, (target + 1) * 11);
+    win.free();
+  });
+}
+
+TEST(SmpiRma, AccumulateIsAtomic) {
+  smpi::World::run(4, [](smpi::Comm& comm) {
+    long cell = 0;
+    smpi::Window win = smpi::Window::create(comm, &cell, sizeof cell);
+    win.fence();
+    // Everyone accumulates into rank 0's cell, many times, concurrently.
+    for (int i = 0; i < 100; ++i) {
+      long one = 1;
+      win.accumulate(&one, 1, smpi::Datatype::kLong, smpi::Op::kSum, 0, 0);
+    }
+    win.fence();
+    if (comm.rank() == 0) {
+      EXPECT_EQ(cell, 400);
+    }
+    win.free();
+  });
+}
+
+TEST(SmpiRma, FetchAndOpReturnsOldValue) {
+  smpi::World::run(2, [](smpi::Comm& comm) {
+    long cell = 100;
+    smpi::Window win = smpi::Window::create(comm, &cell, sizeof cell);
+    win.fence();
+    if (comm.rank() == 1) {
+      long addend = 5, old = -1;
+      win.fetch_and_op(&addend, &old, smpi::Datatype::kLong, smpi::Op::kSum,
+                       0, 0);
+      EXPECT_EQ(old, 100);
+    }
+    win.fence();
+    if (comm.rank() == 0) {
+      EXPECT_EQ(cell, 105);
+    }
+    win.free();
+  });
+}
+
+TEST(SmpiRma, OutOfBoundsThrows) {
+  smpi::World::run(2, [](smpi::Comm& comm) {
+    int buf[2] = {0, 0};
+    smpi::Window win = smpi::Window::create(comm, buf, sizeof buf);
+    win.fence();
+    int v = 1;
+    EXPECT_THROW(win.put(&v, sizeof v, 0, sizeof buf), std::out_of_range);
+    EXPECT_THROW(win.get(&v, sizeof v, 0, sizeof buf), std::out_of_range);
+    EXPECT_THROW(win.put(&v, sizeof v, 5, 0), std::out_of_range);
+    win.fence();
+    win.free();
+  });
+}
+
+TEST(SmpiRma, WindowsPerRankSizesVisible) {
+  smpi::World::run(3, [](smpi::Comm& comm) {
+    std::vector<char> buf(std::size_t(comm.rank() + 1) * 8);
+    smpi::Window win = smpi::Window::create(comm, buf.data(), buf.size());
+    win.fence();
+    for (int r = 0; r < comm.size(); ++r) {
+      EXPECT_EQ(win.bytes(r), std::size_t(r + 1) * 8);
+    }
+    win.free();
+  });
+}
+
+// --- HCMPI-level asynchronous RMA --------------------------------------------
+
+TEST(HcmpiRma, RputCompletesInsideFinish) {
+  smpi::World::run(2, [](smpi::Comm& comm) {
+    hcmpi::Context ctx(comm, {.num_workers = 2});
+    ctx.run([&] {
+      std::vector<int> table(2, -1);
+      hcmpi::HcmpiWindow win(ctx, table.data(), table.size() * sizeof(int));
+      int me = ctx.rank();
+      hc::finish([&] {
+        win.rput(&me, sizeof me, 1 - me, std::size_t(me) * sizeof(int));
+      });  // rput is a communication task: finish waits for it
+      win.fence();
+      EXPECT_EQ(table[std::size_t(1 - me)], 1 - me);
+    });
+  });
+}
+
+TEST(HcmpiRma, RgetDrivesAwaitingTask) {
+  smpi::World::run(2, [](smpi::Comm& comm) {
+    hcmpi::Context ctx(comm, {.num_workers = 2});
+    ctx.run([&] {
+      int value = (ctx.rank() + 1) * 7;
+      hcmpi::HcmpiWindow win(ctx, &value, sizeof value);
+      win.fence();
+      int got = 0;
+      std::atomic<int> seen{0};
+      hc::finish([&] {
+        hcmpi::RequestHandle r = win.rget(&got, sizeof got, 1 - ctx.rank(), 0);
+        hc::async_await({r.get()}, [&] { seen.store(got); });
+      });
+      EXPECT_EQ(seen.load(), (2 - ctx.rank()) * 7);
+      win.fence();
+    });
+  });
+}
+
+TEST(HcmpiRma, AccumulateGlobalCounter) {
+  smpi::World::run(3, [](smpi::Comm& comm) {
+    hcmpi::Context ctx(comm, {.num_workers = 2});
+    ctx.run([&] {
+      long counter = 0;
+      hcmpi::HcmpiWindow win(ctx, &counter, sizeof counter);
+      win.fence();
+      long one = 1;  // origin buffer must outlive the communication tasks
+      hc::finish([&] {
+        for (int i = 0; i < 10; ++i) {
+          win.raccumulate(&one, 1, smpi::Datatype::kLong, smpi::Op::kSum, 0,
+                          0);
+        }
+      });
+      win.fence();
+      if (ctx.rank() == 0) {
+        EXPECT_EQ(counter, 30);
+      }
+    });
+  });
+}
+
+}  // namespace

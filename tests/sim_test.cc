@@ -1,0 +1,394 @@
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+#include "sim/mpi_cost.h"
+#include "sim/network.h"
+#include "sim/sw_sim.h"
+#include "sim/syncbench.h"
+#include "sim/thread_micro.h"
+#include "sim/uts_common.h"
+#include "sim/uts_hybrid.h"
+#include "sim/uts_sim.h"
+
+namespace {
+
+// --- engine ------------------------------------------------------------------
+
+TEST(Engine, FiresInTimeOrder) {
+  sim::Engine eng;
+  std::vector<int> order;
+  eng.at(30, [&] { order.push_back(3); });
+  eng.at(10, [&] { order.push_back(1); });
+  eng.at(20, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, EqualTimesFireInInsertionOrder) {
+  sim::Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) eng.at(5, [&order, i] { order.push_back(i); });
+  eng.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(Engine, NowAdvancesAndAfterIsRelative) {
+  sim::Engine eng;
+  sim::Time seen = 0;
+  eng.at(100, [&] {
+    EXPECT_EQ(eng.now(), 100u);
+    eng.after(50, [&] { seen = eng.now(); });
+  });
+  eng.run();
+  EXPECT_EQ(seen, 150u);
+}
+
+TEST(Engine, PastSchedulingClampsToNow) {
+  sim::Engine eng;
+  sim::Time fired = 9999;
+  eng.at(100, [&] { eng.at(10, [&] { fired = eng.now(); }); });
+  eng.run();
+  EXPECT_EQ(fired, 100u);  // never travels back in time
+}
+
+TEST(Engine, EventCountAndLimit) {
+  sim::Engine eng;
+  int runs = 0;
+  std::function<void()> rearm = [&] {
+    if (++runs < 1000) eng.after(1, rearm);
+  };
+  eng.after(1, rearm);
+  eng.run(/*limit=*/100);
+  EXPECT_EQ(eng.events_processed(), 100u);
+}
+
+// --- network ------------------------------------------------------------------
+
+TEST(Network, InterNodeSlowerThanIntra) {
+  sim::MachineConfig m = sim::jaguar();
+  sim::Network n1(m, 2), n2(m, 2);
+  EXPECT_GT(n1.send(0, 0, 1, 64), n2.send(0, 0, 0, 64));
+}
+
+TEST(Network, NicSerializesBursts) {
+  sim::MachineConfig m = sim::jaguar();
+  sim::Network net(m, 2);
+  sim::Time t1 = net.send(0, 0, 1, 0);
+  sim::Time t2 = net.send(0, 0, 1, 0);
+  EXPECT_GE(t2, t1 + m.nic_gap);
+}
+
+TEST(Network, BytesAddTransferTime) {
+  sim::MachineConfig m = sim::davinci();
+  sim::Network a(m, 2), b(m, 2);
+  EXPECT_GT(a.send(0, 0, 1, 1 << 20), b.send(0, 0, 1, 64));
+}
+
+// --- mpi cost -------------------------------------------------------------------
+
+TEST(MpiCost, LockSerializesCalls) {
+  sim::MachineConfig m = sim::davinci();
+  sim::MpiLock lock;
+  sim::Time t1 = lock.call(0, m, 1);
+  sim::Time t2 = lock.call(0, m, 1);
+  EXPECT_GT(t2, t1);  // second call queued behind the first
+}
+
+TEST(MpiCost, ContentionCostsMore) {
+  sim::MachineConfig m = sim::davinci();
+  sim::MpiLock a, b;
+  EXPECT_GT(b.call(0, m, 8), a.call(0, m, 1));
+}
+
+TEST(MpiCost, BarrierGrowsWithRanks) {
+  sim::MachineConfig m = sim::davinci();
+  sim::Time t4 = sim::dissemination_barrier(m, 4, 2, 300);
+  sim::Time t64 = sim::dissemination_barrier(m, 64, 2, 300);
+  EXPECT_GT(t64, t4);
+}
+
+TEST(MpiCost, IntraNodeRanksCheaper) {
+  sim::MachineConfig m = sim::davinci();
+  // 8 ranks on 1 node (cores=8) vs 8 ranks on 8 nodes (cores=1).
+  sim::Time packed = sim::dissemination_barrier(m, 8, 8, 300);
+  sim::Time spread = sim::dissemination_barrier(m, 8, 1, 300);
+  EXPECT_LT(packed, spread);
+}
+
+TEST(MpiCost, AllreduceAtLeastBarrierShaped) {
+  sim::MachineConfig m = sim::davinci();
+  EXPECT_GT(sim::binomial_allreduce(m, 32, 2, 300, 8), sim::Time(0));
+  EXPECT_GT(sim::binomial_allreduce(m, 64, 2, 300, 8),
+            sim::binomial_allreduce(m, 8, 2, 300, 8));
+}
+
+// --- thread micro-benchmarks (Figs. 14/15 shapes) --------------------------------
+
+TEST(ThreadMicro, BandwidthRoughlyEqualAndNearWire) {
+  for (auto m : {sim::davinci(), sim::jaguar()}) {
+    auto r8 = sim::thread_micro(m, 8);
+    EXPECT_NEAR(r8.mpi_bandwidth_gbits, r8.hcmpi_bandwidth_gbits,
+                0.15 * r8.mpi_bandwidth_gbits);
+  }
+}
+
+TEST(ThreadMicro, MpiMessageRateCollapsesWithThreads) {
+  auto m = sim::davinci();
+  auto r1 = sim::thread_micro(m, 1);
+  auto r8 = sim::thread_micro(m, 8);
+  EXPECT_GT(r1.mpi_msg_rate_m, 4 * r8.mpi_msg_rate_m);
+}
+
+TEST(ThreadMicro, HcmpiMessageRateStaysFlat) {
+  auto m = sim::davinci();
+  auto r1 = sim::thread_micro(m, 1);
+  auto r8 = sim::thread_micro(m, 8);
+  EXPECT_LT(r1.hcmpi_msg_rate_m, 2.5 * r8.hcmpi_msg_rate_m);
+  EXPECT_GT(r8.hcmpi_msg_rate_m, r8.mpi_msg_rate_m);  // the paper's headline
+}
+
+TEST(ThreadMicro, MpiWinsSingleThreadedRate) {
+  auto m = sim::davinci();
+  auto r1 = sim::thread_micro(m, 1);
+  EXPECT_GT(r1.mpi_msg_rate_m, r1.hcmpi_msg_rate_m);
+}
+
+TEST(ThreadMicro, LatencyScalesMoreGracefullyForHcmpi) {
+  auto m = sim::davinci();
+  auto r1 = sim::thread_micro(m, 1);
+  auto r8 = sim::thread_micro(m, 8);
+  double mpi_growth = r8.mpi_latency_us.back() / r1.mpi_latency_us.back();
+  double hc_growth = r8.hcmpi_latency_us.back() / r1.hcmpi_latency_us.back();
+  EXPECT_GT(mpi_growth, 2 * hc_growth);
+}
+
+TEST(ThreadMicro, JaguarTwoThreadAnomalyReproduced) {
+  auto m = sim::jaguar();
+  auto r2 = sim::thread_micro(m, 2);
+  auto r8 = sim::thread_micro(m, 8);
+  EXPECT_LT(r2.mpi_msg_rate_m, r8.mpi_msg_rate_m);  // the Fig. 15b dip
+}
+
+TEST(ThreadMicro, LatencyMonotoneInPayload) {
+  auto r = sim::thread_micro(sim::davinci(), 4);
+  for (std::size_t i = 1; i < r.mpi_latency_us.size(); ++i) {
+    EXPECT_GE(r.mpi_latency_us[i], r.mpi_latency_us[i - 1]);
+    EXPECT_GE(r.hcmpi_latency_us[i], r.hcmpi_latency_us[i - 1]);
+  }
+}
+
+// --- syncbench (Table II shapes) ---------------------------------------------------
+
+TEST(Syncbench, HcmpiBeatsHybridBeatsMpi) {
+  auto m = sim::davinci();
+  for (int nodes : {2, 8, 32, 64}) {
+    for (int cores : {2, 4, 8}) {
+      auto r = sim::syncbench(m, nodes, cores);
+      EXPECT_LT(r.hcmpi_phaser_strict_us, r.mpi_barrier_us)
+          << nodes << "x" << cores;
+      EXPECT_LT(r.hybrid_barrier_strict_us, r.mpi_barrier_us);
+      EXPECT_LT(r.hcmpi_accumulator_us, r.mpi_reduction_us);
+      EXPECT_LT(r.hybrid_reduction_us, r.mpi_reduction_us);
+    }
+  }
+}
+
+TEST(Syncbench, FuzzyFasterThanStrict) {
+  auto m = sim::davinci();
+  for (int nodes : {2, 16, 64}) {
+    auto r = sim::syncbench(m, nodes, 8);
+    EXPECT_LE(r.hcmpi_phaser_fuzzy_us, r.hcmpi_phaser_strict_us);
+    EXPECT_LE(r.hybrid_barrier_fuzzy_us, r.hybrid_barrier_strict_us);
+  }
+}
+
+TEST(Syncbench, MpiGrowsFastestWithCores) {
+  auto m = sim::davinci();
+  auto r2 = sim::syncbench(m, 16, 2);
+  auto r8 = sim::syncbench(m, 16, 8);
+  double mpi_growth = r8.mpi_barrier_us - r2.mpi_barrier_us;
+  double hcmpi_growth = r8.hcmpi_phaser_strict_us - r2.hcmpi_phaser_strict_us;
+  EXPECT_GT(mpi_growth, hcmpi_growth);
+}
+
+TEST(Syncbench, TimesGrowWithNodes) {
+  auto m = sim::davinci();
+  auto small = sim::syncbench(m, 2, 4);
+  auto big = sim::syncbench(m, 64, 4);
+  EXPECT_GT(big.mpi_barrier_us, small.mpi_barrier_us);
+  EXPECT_GT(big.hcmpi_phaser_strict_us, small.hcmpi_phaser_strict_us);
+}
+
+// --- UTS simulators -----------------------------------------------------------------
+
+uts::Params small_tree() {
+  uts::Params p = uts::t1();
+  p.gen_mx = 8;  // ~10^5 nodes: fast tests
+  return p;
+}
+
+TEST(UtsSim, MpiExploresWholeTree) {
+  sim::UtsSimConfig cfg;
+  cfg.tree = small_tree();
+  cfg.nodes = 4;
+  cfg.cores_per_node = 4;
+  auto r = sim::run_uts_mpi(sim::jaguar(), cfg);
+  auto ref = [] {
+    uts::Params p = small_tree();
+    std::vector<sim::FastNode> st{sim::fast_root(p)};
+    std::uint64_t n = 0;
+    while (!st.empty()) {
+      auto nd = st.back();
+      st.pop_back();
+      ++n;
+      int k = sim::fast_children(nd, p);
+      for (int i = 0; i < k; ++i) st.push_back(sim::fast_child(nd, std::uint32_t(i)));
+    }
+    return n;
+  }();
+  EXPECT_EQ(r.nodes_explored, ref);
+  EXPECT_GT(r.time_s, 0.0);
+}
+
+TEST(UtsSim, AllThreeVariantsAgreeOnNodeCount) {
+  sim::UtsSimConfig cfg;
+  cfg.tree = small_tree();
+  cfg.nodes = 8;
+  cfg.cores_per_node = 8;
+  auto mpi = sim::run_uts_mpi(sim::jaguar(), cfg);
+  auto hcmpi = sim::run_uts_hcmpi(sim::jaguar(), cfg);
+  auto hybrid = sim::run_uts_hybrid(sim::jaguar(), cfg);
+  EXPECT_EQ(mpi.nodes_explored, hcmpi.nodes_explored);
+  EXPECT_EQ(mpi.nodes_explored, hybrid.nodes_explored);
+}
+
+TEST(UtsSim, Deterministic) {
+  sim::UtsSimConfig cfg;
+  cfg.tree = small_tree();
+  cfg.nodes = 8;
+  cfg.cores_per_node = 4;
+  auto a = sim::run_uts_mpi(sim::jaguar(), cfg);
+  auto b = sim::run_uts_mpi(sim::jaguar(), cfg);
+  EXPECT_EQ(a.time_s, b.time_s);
+  EXPECT_EQ(a.failed_steals, b.failed_steals);
+}
+
+TEST(UtsSim, MpiWinsAtTwoCoresPerNode) {
+  // HCMPI surrenders one of two cores: it must lose here (paper Fig. 20,
+  // 2-cores row ~0.67x).
+  sim::UtsSimConfig cfg;
+  cfg.tree = small_tree();
+  cfg.nodes = 4;
+  cfg.cores_per_node = 2;
+  auto mpi = sim::run_uts_mpi(sim::jaguar(), cfg);
+  auto hcmpi = sim::run_uts_hcmpi(sim::jaguar(), cfg);
+  EXPECT_LT(mpi.time_s, hcmpi.time_s);
+}
+
+TEST(UtsSim, HcmpiWinsAtScaleWith16Cores) {
+  sim::UtsSimConfig cfg;
+  cfg.tree = uts::t1();  // full 4.1M tree for a scale point
+  cfg.nodes = 128;
+  cfg.cores_per_node = 16;
+  sim::UtsSimConfig mpi_cfg = cfg;
+  mpi_cfg.chunk = 4;
+  mpi_cfg.poll_interval = 16;
+  auto mpi = sim::run_uts_mpi(sim::jaguar(), mpi_cfg);
+  auto hcmpi = sim::run_uts_hcmpi(sim::jaguar(), cfg);
+  EXPECT_GT(mpi.time_s, hcmpi.time_s);
+  EXPECT_GT(mpi.failed_steals, hcmpi.failed_steals);
+}
+
+TEST(UtsSim, HcmpiOverheadLower) {
+  sim::UtsSimConfig cfg;
+  cfg.tree = small_tree();
+  cfg.nodes = 8;
+  cfg.cores_per_node = 8;
+  auto mpi = sim::run_uts_mpi(sim::jaguar(), cfg);
+  auto hcmpi = sim::run_uts_hcmpi(sim::jaguar(), cfg);
+  EXPECT_LT(hcmpi.overhead_s, mpi.overhead_s);
+}
+
+TEST(UtsSim, WorkConservedAcrossScales) {
+  // Total work (avg work * resources) must equal nodes * t_node regardless
+  // of the layout.
+  auto m = sim::jaguar();
+  sim::UtsSimConfig cfg;
+  cfg.tree = small_tree();
+  cfg.nodes = 4;
+  cfg.cores_per_node = 8;
+  auto r = sim::run_uts_mpi(m, cfg);
+  double total_work = r.work_s * cfg.nodes * cfg.cores_per_node;
+  double expect = double(r.nodes_explored) * double(m.uts_node_work) / 1e9;
+  EXPECT_NEAR(total_work, expect, expect * 0.01);
+}
+
+// --- SW simulators ---------------------------------------------------------------
+
+TEST(SwSim, DddfScalesWithNodes) {
+  sim::SwSimConfig cfg;
+  cfg.outer_rows = cfg.outer_cols = 24;
+  cfg.inner = 4;
+  cfg.cores = 8;
+  cfg.nodes = 4;
+  auto t4 = sim::run_sw_dddf(sim::davinci(), cfg);
+  cfg.nodes = 16;
+  auto t16 = sim::run_sw_dddf(sim::davinci(), cfg);
+  EXPECT_LT(t16.time_s, t4.time_s);
+  EXPECT_GT(t4.time_s / t16.time_s, 1.8);  // ~1.7-2x per doubling, twice
+}
+
+TEST(SwSim, DddfScalesWithCores) {
+  sim::SwSimConfig cfg;
+  cfg.outer_rows = cfg.outer_cols = 24;
+  cfg.inner = 4;
+  cfg.nodes = 8;
+  cfg.cores = 2;
+  auto c2 = sim::run_sw_dddf(sim::davinci(), cfg);
+  cfg.cores = 12;
+  auto c12 = sim::run_sw_dddf(sim::davinci(), cfg);
+  // 1 -> 11 computation workers: paper saw 7.9-10.2x.
+  EXPECT_GT(c2.time_s / c12.time_s, 5.0);
+  EXPECT_LT(c2.time_s / c12.time_s, 11.5);
+}
+
+TEST(SwSim, HybridWinsAtTwoCores) {
+  sim::SwSimConfig cfg;
+  cfg.outer_rows = cfg.outer_cols = 24;
+  cfg.inner = 4;
+  cfg.nodes = 4;
+  cfg.cores = 2;
+  auto dddf = sim::run_sw_dddf(sim::davinci(), cfg);
+  sim::SwSimConfig hy = cfg;
+  hy.dist = sim::SwDist::kCyclicColumn;
+  auto hybrid = sim::run_sw_hybrid(sim::davinci(), hy);
+  EXPECT_LT(hybrid.time_s, dddf.time_s);  // paper Fig. 25: ~0.5x at 2 cores
+}
+
+TEST(SwSim, DddfWinsAtManyCores) {
+  sim::SwSimConfig cfg;
+  cfg.outer_rows = cfg.outer_cols = 24;
+  cfg.inner = 4;
+  cfg.nodes = 4;
+  cfg.cores = 12;
+  auto dddf = sim::run_sw_dddf(sim::davinci(), cfg);
+  sim::SwSimConfig hy = cfg;
+  hy.dist = sim::SwDist::kCyclicColumn;
+  auto hybrid = sim::run_sw_hybrid(sim::davinci(), hy);
+  EXPECT_GT(hybrid.time_s, dddf.time_s);  // paper Fig. 25: >1 beyond 6 cores
+}
+
+TEST(SwSim, CrossNodeBoundariesCounted) {
+  sim::SwSimConfig cfg;
+  cfg.outer_rows = cfg.outer_cols = 8;
+  cfg.inner = 2;
+  cfg.nodes = 4;
+  cfg.cores = 4;
+  auto multi = sim::run_sw_dddf(sim::davinci(), cfg);
+  cfg.nodes = 1;
+  auto solo = sim::run_sw_dddf(sim::davinci(), cfg);
+  EXPECT_GT(multi.boundary_messages, 0u);
+  EXPECT_EQ(solo.boundary_messages, 0u);
+}
+
+}  // namespace

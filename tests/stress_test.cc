@@ -1,0 +1,219 @@
+// Stress and failure-injection tests: the paths that only misbehave under
+// pressure — cancel storms, truncated messages through the HCMPI pipeline,
+// abandoned DDTs, nested launches, randomized traffic soup.
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "core/ddf.h"
+#include "hcmpi/context.h"
+#include "smpi/world.h"
+#include "support/rng.h"
+
+namespace {
+
+TEST(FailureInjection, TruncatedMessageSurfacesInStatus) {
+  smpi::World::run(2, [](smpi::Comm& comm) {
+    hcmpi::Context ctx(comm, {.num_workers = 2});
+    ctx.run([&] {
+      if (ctx.rank() == 0) {
+        std::vector<char> big(256, 'x');
+        ctx.send(big.data(), big.size(), 1, 1);
+      } else {
+        char small[16];
+        hcmpi::Status st;
+        ctx.recv(small, sizeof small, 0, 1, &st);
+        EXPECT_EQ(st.error, smpi::ErrorCode::kTruncate);
+        EXPECT_EQ(st.count_bytes, sizeof small);
+      }
+    });
+  });
+}
+
+TEST(FailureInjection, CancelStorm) {
+  // Many receives, half of which are never matched and cancelled while the
+  // other half complete: every request must reach a terminal state.
+  smpi::World::run(2, [](smpi::Comm& comm) {
+    hcmpi::Context ctx(comm, {.num_workers = 2});
+    ctx.run([&] {
+      constexpr int kN = 64;
+      if (ctx.rank() == 0) {
+        for (int i = 0; i < kN; i += 2) {  // only even tags ever sent
+          int v = i;
+          ctx.send(&v, sizeof v, 1, 100 + i);
+        }
+      } else {
+        std::vector<int> bufs(kN, -1);
+        std::vector<hcmpi::RequestHandle> rs;
+        for (int i = 0; i < kN; ++i) {
+          rs.push_back(
+              ctx.irecv(&bufs[std::size_t(i)], sizeof(int), 0, 100 + i));
+        }
+        // Wait for the even ones, cancel the odd ones.
+        for (int i = 0; i < kN; i += 2) ctx.wait(rs[std::size_t(i)]);
+        int cancelled = 0;
+        for (int i = 1; i < kN; i += 2) {
+          if (ctx.cancel(rs[std::size_t(i)])) ++cancelled;
+        }
+        EXPECT_EQ(cancelled, kN / 2);
+        for (int i = 0; i < kN; i += 2) EXPECT_EQ(bufs[std::size_t(i)], i);
+        for (const auto& r : rs) EXPECT_TRUE(r->satisfied());
+      }
+    });
+  });
+}
+
+TEST(FailureInjection, AbandonedDdtReleasesFinish) {
+  // Destroying a DDF with a registered DDT abandons the task: the enclosing
+  // finish must observe quiescence instead of hanging (core/ddf.cc dtor).
+  hc::Runtime rt({.num_workers = 2});
+  rt.launch([&] {
+    std::atomic<bool> ran{false};
+    auto* d = new hc::Ddf<int>();
+    hc::finish([&] {
+      hc::async_await(std::vector<hc::DdfBase*>{d}, [&] { ran.store(true); });
+      hc::async([&] { delete d; });  // input dies before any put
+    });
+    EXPECT_FALSE(ran.load());  // the task never ran, and nothing deadlocked
+  });
+}
+
+TEST(Stress, NestedLaunchOnWorkerThread) {
+  // launch() from inside a task of the same runtime: the worker must help
+  // instead of deadlocking on itself.
+  hc::Runtime rt({.num_workers = 2});
+  std::atomic<int> inner{0};
+  rt.launch([&] {
+    rt.launch([&] {
+      hc::finish([&] {
+        for (int i = 0; i < 10; ++i) hc::async([&] { inner.fetch_add(1); });
+      });
+    });
+  });
+  EXPECT_EQ(inner.load(), 10);
+}
+
+TEST(Stress, DeepAsyncRecursion) {
+  hc::Runtime rt({.num_workers = 2});
+  std::atomic<int> depth_reached{0};
+  rt.launch([&] {
+    hc::finish([&] {
+      std::function<void(int)> recurse = [&](int d) {
+        if (d >= 2000) {
+          depth_reached.store(d);
+          return;
+        }
+        hc::async([&recurse, d] { recurse(d + 1); });
+      };
+      recurse(0);
+    });
+  });
+  EXPECT_EQ(depth_reached.load(), 2000);
+}
+
+TEST(Stress, RandomTrafficSoup) {
+  // Randomized but seeded message soup over 4 ranks: each rank sends a
+  // deterministic multiset of (peer, tag, value); receivers post wildcard
+  // receives and accumulate. Total checksum must match exactly.
+  constexpr int kRanks = 4;
+  constexpr int kPerRank = 200;
+  long long expected = 0;
+  for (int r = 0; r < kRanks; ++r) {
+    support::Xoshiro256 rng(1000 + std::uint64_t(r));
+    for (int i = 0; i < kPerRank; ++i) {
+      rng.next_below(kRanks - 1);  // peer draw (value independent of peer)
+      expected += r * 1000 + i;
+    }
+  }
+  std::atomic<long long> got{0};
+  smpi::World::run(kRanks, [&](smpi::Comm& comm) {
+    // Every rank knows how many messages it will receive: gather counts
+    // first via alltoall of planned sends.
+    support::Xoshiro256 rng(1000 + std::uint64_t(comm.rank()));
+    std::vector<int> plan(std::size_t(kRanks), 0);
+    std::vector<int> payloads;
+    std::vector<int> peers;
+    for (int i = 0; i < kPerRank; ++i) {
+      int peer = int(rng.next_below(kRanks - 1));
+      if (peer >= comm.rank()) ++peer;
+      ++plan[std::size_t(peer)];
+      peers.push_back(peer);
+      payloads.push_back(comm.rank() * 1000 + i);
+    }
+    std::vector<int> incoming(std::size_t(kRanks), 0);
+    comm.alltoall(plan.data(), sizeof(int), incoming.data());
+    int expect_count = std::accumulate(incoming.begin(), incoming.end(), 0);
+
+    for (int i = 0; i < kPerRank; ++i) {
+      comm.send(&payloads[std::size_t(i)], sizeof(int), peers[std::size_t(i)],
+                7);
+    }
+    long long sum = 0;
+    for (int i = 0; i < expect_count; ++i) {
+      int v = 0;
+      comm.recv(&v, sizeof v, smpi::kAnySource, 7);
+      sum += v;
+    }
+    got.fetch_add(sum);
+  });
+  EXPECT_EQ(got.load(), expected);
+}
+
+TEST(Stress, HcmpiBidirectionalFlood) {
+  // Both ranks stream at each other through their communication workers
+  // while computation tasks churn; everything must drain inside one finish.
+  smpi::World::run(2, [](smpi::Comm& comm) {
+    hcmpi::Context ctx(comm, {.num_workers = 2});
+    ctx.run([&] {
+      constexpr int kN = 300;
+      int other = 1 - ctx.rank();
+      std::vector<int> in(kN, -1), out(kN);
+      for (int i = 0; i < kN; ++i) out[std::size_t(i)] = ctx.rank() * 10000 + i;
+      hc::finish([&] {
+        for (int i = 0; i < kN; ++i) {
+          ctx.irecv(&in[std::size_t(i)], sizeof(int), other, i);
+          ctx.isend(&out[std::size_t(i)], sizeof(int), other, i);
+        }
+      });
+      for (int i = 0; i < kN; ++i) {
+        ASSERT_EQ(in[std::size_t(i)], other * 10000 + i);
+      }
+    });
+  });
+}
+
+TEST(Stress, RepeatedContextConstruction) {
+  // Contexts must tear down cleanly (comm worker joins, slots recycled).
+  smpi::World::run(2, [](smpi::Comm& comm) {
+    for (int round = 0; round < 10; ++round) {
+      hcmpi::Context ctx(comm, {.num_workers = 1});
+      ctx.run([&] {
+        int v = round, got = -1;
+        if (ctx.rank() == 0) {
+          ctx.send(&v, sizeof v, 1, round);
+        } else {
+          ctx.recv(&got, sizeof got, 0, round);
+          EXPECT_EQ(got, round);
+        }
+      });
+    }
+  });
+}
+
+TEST(Stress, ParallelForLargeGrainSweep) {
+  hc::Runtime rt({.num_workers = 3});
+  for (std::size_t grain : {1u, 7u, 64u, 1000u, 100000u}) {
+    std::atomic<long long> sum{0};
+    rt.launch([&] {
+      hc::parallel_for(0, 5000, grain, [&](std::size_t i) {
+        sum.fetch_add(static_cast<long long>(i));
+      });
+    });
+    EXPECT_EQ(sum.load(), 5000LL * 4999 / 2) << "grain " << grain;
+  }
+}
+
+}  // namespace

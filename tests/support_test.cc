@@ -1,0 +1,307 @@
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/chase_lev_deque.h"
+#include "support/flags.h"
+#include "support/mpsc_queue.h"
+#include "support/rng.h"
+#include "support/sha1.h"
+#include "support/spin.h"
+#include "support/spsc_ring.h"
+#include "support/stats.h"
+
+namespace {
+
+// --- SHA-1 (FIPS 180-1 test vectors) ---------------------------------------
+
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(support::Sha1::hex(support::Sha1::hash("", 0)),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(support::Sha1::hex(support::Sha1::hash("abc", 3)),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, LongerVector) {
+  const char* msg = "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  EXPECT_EQ(support::Sha1::hex(support::Sha1::hash(msg, 56)),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  support::Sha1 h;
+  std::vector<char> chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk.data(), chunk.size());
+  EXPECT_EQ(support::Sha1::hex(h.finish()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  std::string msg = "the quick brown fox jumps over the lazy dog etc etc";
+  auto one = support::Sha1::hash(msg.data(), msg.size());
+  support::Sha1 h;
+  for (char c : msg) h.update(&c, 1);
+  EXPECT_EQ(one, h.finish());
+}
+
+TEST(Sha1, BlockBoundaryLengths) {
+  // Lengths straddling the 55/56/63/64 padding edges.
+  for (std::size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 127u, 128u}) {
+    std::string msg(len, 'x');
+    auto d1 = support::Sha1::hash(msg.data(), msg.size());
+    support::Sha1 h;
+    h.update(msg.data(), len / 2);
+    h.update(msg.data() + len / 2, len - len / 2);
+    EXPECT_EQ(d1, h.finish()) << "len=" << len;
+  }
+}
+
+// --- RNG --------------------------------------------------------------------
+
+TEST(Rng, SplitMixDeterministic) {
+  support::SplitMix64 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, MixIsStateless) {
+  EXPECT_EQ(support::SplitMix64::mix(123), support::SplitMix64::mix(123));
+  EXPECT_NE(support::SplitMix64::mix(123), support::SplitMix64::mix(124));
+}
+
+TEST(Rng, XoshiroUniformRange) {
+  support::Xoshiro256 rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowBounds) {
+  support::Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) ASSERT_LT(rng.next_below(17), 17u);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, XoshiroSeedsDiffer) {
+  support::Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 4);
+}
+
+// --- Chase-Lev deque ---------------------------------------------------------
+
+TEST(ChaseLev, LifoOwnerOrder) {
+  support::ChaseLevDeque<int*> dq;
+  int vals[3] = {1, 2, 3};
+  for (auto& v : vals) dq.push(&v);
+  EXPECT_EQ(dq.pop().value(), &vals[2]);
+  EXPECT_EQ(dq.pop().value(), &vals[1]);
+  EXPECT_EQ(dq.pop().value(), &vals[0]);
+  EXPECT_FALSE(dq.pop().has_value());
+}
+
+TEST(ChaseLev, FifoStealOrder) {
+  support::ChaseLevDeque<int*> dq;
+  int vals[3] = {1, 2, 3};
+  for (auto& v : vals) dq.push(&v);
+  EXPECT_EQ(dq.steal().value(), &vals[0]);
+  EXPECT_EQ(dq.steal().value(), &vals[1]);
+}
+
+TEST(ChaseLev, GrowsPastInitialCapacity) {
+  support::ChaseLevDeque<int*> dq(4);
+  std::vector<int> vals(1000);
+  for (auto& v : vals) dq.push(&v);
+  EXPECT_EQ(dq.size_approx(), 1000u);
+  for (int i = 999; i >= 0; --i) EXPECT_EQ(dq.pop().value(), &vals[i]);
+}
+
+TEST(ChaseLev, ConcurrentStealersReceiveEachItemOnce) {
+  support::ChaseLevDeque<std::intptr_t> dq;
+  constexpr std::intptr_t kN = 20000;
+  std::atomic<std::intptr_t> sum{0};
+  std::atomic<int> consumed{0};
+  std::atomic<bool> done_pushing{false};
+  auto thief = [&] {
+    while (!done_pushing.load() || consumed.load() < kN) {
+      if (auto v = dq.steal()) {
+        sum.fetch_add(*v);
+        consumed.fetch_add(1);
+      }
+      if (consumed.load() >= kN) break;
+    }
+  };
+  std::thread t1(thief), t2(thief);
+  std::intptr_t expect = 0;
+  for (std::intptr_t i = 1; i <= kN; ++i) {
+    dq.push(i);
+    expect += i;
+  }
+  done_pushing.store(true);
+  // Owner helps drain.
+  while (consumed.load() < kN) {
+    if (auto v = dq.pop()) {
+      sum.fetch_add(*v);
+      consumed.fetch_add(1);
+    }
+  }
+  t1.join();
+  t2.join();
+  EXPECT_EQ(sum.load(), expect);
+}
+
+// --- MPSC queue ---------------------------------------------------------------
+
+TEST(Mpsc, FifoSingleProducer) {
+  support::MpscQueue<int> q;
+  for (int i = 0; i < 100; ++i) q.push(i);
+  int v;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(q.pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.pop(v));
+}
+
+TEST(Mpsc, EmptyApprox) {
+  support::MpscQueue<int> q;
+  EXPECT_TRUE(q.empty_approx());
+  q.push(1);
+  EXPECT_FALSE(q.empty_approx());
+}
+
+TEST(Mpsc, MultiProducerDeliversAll) {
+  support::MpscQueue<int> q;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerThread; ++i) q.push(p * kPerThread + i);
+    });
+  }
+  std::set<int> seen;
+  int v;
+  while (int(seen.size()) < 3 * kPerThread) {
+    if (q.pop(v)) {
+      EXPECT_TRUE(seen.insert(v).second);
+    }
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(seen.size(), std::size_t(3 * kPerThread));
+}
+
+// --- SPSC ring ------------------------------------------------------------------
+
+TEST(Spsc, PushPopRoundTrip) {
+  support::SpscRing<int> r(8);
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 8; ++i) EXPECT_TRUE(r.try_push(i));
+    EXPECT_FALSE(r.try_push(99));  // full
+    int v;
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_TRUE(r.try_pop(v));
+      EXPECT_EQ(v, i);
+    }
+    EXPECT_FALSE(r.try_pop(v));  // empty
+  }
+}
+
+TEST(Spsc, ConcurrentStream) {
+  support::SpscRing<int> r(64);
+  constexpr int kN = 100000;
+  std::thread producer([&] {
+    for (int i = 0; i < kN;) {
+      if (r.try_push(i)) ++i;
+    }
+  });
+  long long sum = 0;
+  for (int got = 0; got < kN;) {
+    int v;
+    if (r.try_pop(v)) {
+      EXPECT_EQ(v, got);
+      sum += v;
+      ++got;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(sum, (long long)kN * (kN - 1) / 2);
+}
+
+// --- Stats ---------------------------------------------------------------------
+
+TEST(Stats, WelfordMeanAndStddev) {
+  support::Stats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(Stats, PercentilesInterpolate) {
+  support::Percentiles p;
+  for (int i = 1; i <= 100; ++i) p.add(double(i));
+  EXPECT_DOUBLE_EQ(p.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.percentile(100), 100.0);
+  EXPECT_NEAR(p.percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(p.percentile(99), 99.01, 0.1);
+}
+
+TEST(Stats, FormatNs) {
+  EXPECT_EQ(support::format_ns(500), "500.0 ns");
+  EXPECT_EQ(support::format_ns(2500), "2.50 us");
+  EXPECT_EQ(support::format_ns(3.5e6), "3.50 ms");
+  EXPECT_EQ(support::format_ns(2.25e9), "2.250 s");
+}
+
+// --- Flags ------------------------------------------------------------------------
+
+TEST(Flags, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "7", "--gamma"};
+  support::Flags f(5, const_cast<char**>(argv));
+  EXPECT_EQ(f.get_int("alpha", 0), 3);
+  EXPECT_EQ(f.get_int("beta", 0), 7);
+  EXPECT_TRUE(f.get_bool("gamma", false));
+  EXPECT_EQ(f.get_int("missing", 42), 42);
+  EXPECT_EQ(f.get("alpha", ""), "3");
+  EXPECT_DOUBLE_EQ(f.get_double("alpha", 0.0), 3.0);
+}
+
+// --- Spin ------------------------------------------------------------------------
+
+TEST(Spin, LockExcludesConcurrentIncrements) {
+  support::SpinLock mu;
+  long long counter = 0;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < 20000; ++i) {
+        std::lock_guard<support::SpinLock> lk(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(counter, 80000);
+}
+
+TEST(Spin, TryLock) {
+  support::SpinLock mu;
+  EXPECT_TRUE(mu.try_lock());
+  EXPECT_FALSE(mu.try_lock());
+  mu.unlock();
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+}  // namespace
