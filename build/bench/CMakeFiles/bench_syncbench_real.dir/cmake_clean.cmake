@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_syncbench_real.dir/bench_syncbench_real.cc.o"
+  "CMakeFiles/bench_syncbench_real.dir/bench_syncbench_real.cc.o.d"
+  "bench_syncbench_real"
+  "bench_syncbench_real.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_syncbench_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

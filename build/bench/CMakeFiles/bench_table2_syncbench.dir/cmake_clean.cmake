@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_syncbench.dir/bench_table2_syncbench.cc.o"
+  "CMakeFiles/bench_table2_syncbench.dir/bench_table2_syncbench.cc.o.d"
+  "bench_table2_syncbench"
+  "bench_table2_syncbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_syncbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

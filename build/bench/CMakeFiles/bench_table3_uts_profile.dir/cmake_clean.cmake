@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_uts_profile.dir/bench_table3_uts_profile.cc.o"
+  "CMakeFiles/bench_table3_uts_profile.dir/bench_table3_uts_profile.cc.o.d"
+  "bench_table3_uts_profile"
+  "bench_table3_uts_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_uts_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/kmeans_hcmpi.cpp" "examples/CMakeFiles/kmeans_hcmpi.dir/kmeans_hcmpi.cpp.o" "gcc" "examples/CMakeFiles/kmeans_hcmpi.dir/kmeans_hcmpi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hcmpi_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcmpi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmeans_hcmpi.dir/kmeans_hcmpi.cpp.o"
+  "CMakeFiles/kmeans_hcmpi.dir/kmeans_hcmpi.cpp.o.d"
+  "kmeans_hcmpi"
+  "kmeans_hcmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmeans_hcmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smithwaterman_dddf.dir/smithwaterman_dddf.cpp.o"
+  "CMakeFiles/smithwaterman_dddf.dir/smithwaterman_dddf.cpp.o.d"
+  "smithwaterman_dddf"
+  "smithwaterman_dddf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smithwaterman_dddf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

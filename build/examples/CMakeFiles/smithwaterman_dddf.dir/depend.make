@@ -1,0 +1,2 @@
+# Empty dependencies file for smithwaterman_dddf.
+# This may be replaced when dependencies are built.

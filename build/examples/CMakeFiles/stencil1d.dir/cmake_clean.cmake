@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil1d.dir/stencil1d.cpp.o"
+  "CMakeFiles/stencil1d.dir/stencil1d.cpp.o.d"
+  "stencil1d"
+  "stencil1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uts_hcmpi.dir/uts_hcmpi.cpp.o"
+  "CMakeFiles/uts_hcmpi.dir/uts_hcmpi.cpp.o.d"
+  "uts_hcmpi"
+  "uts_hcmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uts_hcmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for uts_hcmpi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uts_workstealing.dir/uts_workstealing.cpp.o"
+  "CMakeFiles/uts_workstealing.dir/uts_workstealing.cpp.o.d"
+  "uts_workstealing"
+  "uts_workstealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uts_workstealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

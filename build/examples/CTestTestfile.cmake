@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "240" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_stencil1d "/root/repo/build/examples/stencil1d" "--iters=50")
+set_tests_properties(example_stencil1d PROPERTIES  TIMEOUT "240" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sw_dddf "/root/repo/build/examples/smithwaterman_dddf" "--len=256" "--tile=32")
+set_tests_properties(example_sw_dddf PROPERTIES  TIMEOUT "240" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sw_dddf_hier "/root/repo/build/examples/smithwaterman_dddf" "--len=256" "--tile=64" "--hier" "--inner=16")
+set_tests_properties(example_sw_dddf_hier PROPERTIES  TIMEOUT "240" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_uts_workstealing "/root/repo/build/examples/uts_workstealing" "--gen_mx=7")
+set_tests_properties(example_uts_workstealing PROPERTIES  TIMEOUT "240" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_uts_hcmpi "/root/repo/build/examples/uts_hcmpi" "--gen_mx=7")
+set_tests_properties(example_uts_hcmpi PROPERTIES  TIMEOUT "240" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_kmeans "/root/repo/build/examples/kmeans_hcmpi" "--points=4000")
+set_tests_properties(example_kmeans PROPERTIES  TIMEOUT "240" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dddf/am_transport.cc" "src/CMakeFiles/dddf.dir/dddf/am_transport.cc.o" "gcc" "src/CMakeFiles/dddf.dir/dddf/am_transport.cc.o.d"
+  "/root/repo/src/dddf/mpi_transport.cc" "src/CMakeFiles/dddf.dir/dddf/mpi_transport.cc.o" "gcc" "src/CMakeFiles/dddf.dir/dddf/mpi_transport.cc.o.d"
+  "/root/repo/src/dddf/space.cc" "src/CMakeFiles/dddf.dir/dddf/space.cc.o" "gcc" "src/CMakeFiles/dddf.dir/dddf/space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hcmpi_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcmpi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dddf.dir/dddf/am_transport.cc.o"
+  "CMakeFiles/dddf.dir/dddf/am_transport.cc.o.d"
+  "CMakeFiles/dddf.dir/dddf/mpi_transport.cc.o"
+  "CMakeFiles/dddf.dir/dddf/mpi_transport.cc.o.d"
+  "CMakeFiles/dddf.dir/dddf/space.cc.o"
+  "CMakeFiles/dddf.dir/dddf/space.cc.o.d"
+  "libdddf.a"
+  "libdddf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dddf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

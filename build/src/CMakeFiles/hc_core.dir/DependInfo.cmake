@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accumulator.cc" "src/CMakeFiles/hc_core.dir/core/accumulator.cc.o" "gcc" "src/CMakeFiles/hc_core.dir/core/accumulator.cc.o.d"
+  "/root/repo/src/core/ddf.cc" "src/CMakeFiles/hc_core.dir/core/ddf.cc.o" "gcc" "src/CMakeFiles/hc_core.dir/core/ddf.cc.o.d"
+  "/root/repo/src/core/finish.cc" "src/CMakeFiles/hc_core.dir/core/finish.cc.o" "gcc" "src/CMakeFiles/hc_core.dir/core/finish.cc.o.d"
+  "/root/repo/src/core/phaser.cc" "src/CMakeFiles/hc_core.dir/core/phaser.cc.o" "gcc" "src/CMakeFiles/hc_core.dir/core/phaser.cc.o.d"
+  "/root/repo/src/core/place.cc" "src/CMakeFiles/hc_core.dir/core/place.cc.o" "gcc" "src/CMakeFiles/hc_core.dir/core/place.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/CMakeFiles/hc_core.dir/core/runtime.cc.o" "gcc" "src/CMakeFiles/hc_core.dir/core/runtime.cc.o.d"
+  "/root/repo/src/core/worker.cc" "src/CMakeFiles/hc_core.dir/core/worker.cc.o" "gcc" "src/CMakeFiles/hc_core.dir/core/worker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hcmpi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_core.dir/core/accumulator.cc.o"
+  "CMakeFiles/hc_core.dir/core/accumulator.cc.o.d"
+  "CMakeFiles/hc_core.dir/core/ddf.cc.o"
+  "CMakeFiles/hc_core.dir/core/ddf.cc.o.d"
+  "CMakeFiles/hc_core.dir/core/finish.cc.o"
+  "CMakeFiles/hc_core.dir/core/finish.cc.o.d"
+  "CMakeFiles/hc_core.dir/core/phaser.cc.o"
+  "CMakeFiles/hc_core.dir/core/phaser.cc.o.d"
+  "CMakeFiles/hc_core.dir/core/place.cc.o"
+  "CMakeFiles/hc_core.dir/core/place.cc.o.d"
+  "CMakeFiles/hc_core.dir/core/runtime.cc.o"
+  "CMakeFiles/hc_core.dir/core/runtime.cc.o.d"
+  "CMakeFiles/hc_core.dir/core/worker.cc.o"
+  "CMakeFiles/hc_core.dir/core/worker.cc.o.d"
+  "libhc_core.a"
+  "libhc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

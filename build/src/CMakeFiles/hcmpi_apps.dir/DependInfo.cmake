@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/sw/sw.cc" "src/CMakeFiles/hcmpi_apps.dir/apps/sw/sw.cc.o" "gcc" "src/CMakeFiles/hcmpi_apps.dir/apps/sw/sw.cc.o.d"
+  "/root/repo/src/apps/sw/sw_hier.cc" "src/CMakeFiles/hcmpi_apps.dir/apps/sw/sw_hier.cc.o" "gcc" "src/CMakeFiles/hcmpi_apps.dir/apps/sw/sw_hier.cc.o.d"
+  "/root/repo/src/apps/uts/uts.cc" "src/CMakeFiles/hcmpi_apps.dir/apps/uts/uts.cc.o" "gcc" "src/CMakeFiles/hcmpi_apps.dir/apps/uts/uts.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hcmpi_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcmpi_apps.dir/apps/sw/sw.cc.o"
+  "CMakeFiles/hcmpi_apps.dir/apps/sw/sw.cc.o.d"
+  "CMakeFiles/hcmpi_apps.dir/apps/sw/sw_hier.cc.o"
+  "CMakeFiles/hcmpi_apps.dir/apps/sw/sw_hier.cc.o.d"
+  "CMakeFiles/hcmpi_apps.dir/apps/uts/uts.cc.o"
+  "CMakeFiles/hcmpi_apps.dir/apps/uts/uts.cc.o.d"
+  "libhcmpi_apps.a"
+  "libhcmpi_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcmpi_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hcmpi/coll.cc" "src/CMakeFiles/hcmpi_lib.dir/hcmpi/coll.cc.o" "gcc" "src/CMakeFiles/hcmpi_lib.dir/hcmpi/coll.cc.o.d"
+  "/root/repo/src/hcmpi/comm_worker.cc" "src/CMakeFiles/hcmpi_lib.dir/hcmpi/comm_worker.cc.o" "gcc" "src/CMakeFiles/hcmpi_lib.dir/hcmpi/comm_worker.cc.o.d"
+  "/root/repo/src/hcmpi/context.cc" "src/CMakeFiles/hcmpi_lib.dir/hcmpi/context.cc.o" "gcc" "src/CMakeFiles/hcmpi_lib.dir/hcmpi/context.cc.o.d"
+  "/root/repo/src/hcmpi/phaser_bridge.cc" "src/CMakeFiles/hcmpi_lib.dir/hcmpi/phaser_bridge.cc.o" "gcc" "src/CMakeFiles/hcmpi_lib.dir/hcmpi/phaser_bridge.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcmpi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcmpi_lib.dir/hcmpi/coll.cc.o"
+  "CMakeFiles/hcmpi_lib.dir/hcmpi/coll.cc.o.d"
+  "CMakeFiles/hcmpi_lib.dir/hcmpi/comm_worker.cc.o"
+  "CMakeFiles/hcmpi_lib.dir/hcmpi/comm_worker.cc.o.d"
+  "CMakeFiles/hcmpi_lib.dir/hcmpi/context.cc.o"
+  "CMakeFiles/hcmpi_lib.dir/hcmpi/context.cc.o.d"
+  "CMakeFiles/hcmpi_lib.dir/hcmpi/phaser_bridge.cc.o"
+  "CMakeFiles/hcmpi_lib.dir/hcmpi/phaser_bridge.cc.o.d"
+  "libhcmpi_lib.a"
+  "libhcmpi_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcmpi_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

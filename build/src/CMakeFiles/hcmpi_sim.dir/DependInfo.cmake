@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/machine.cc" "src/CMakeFiles/hcmpi_sim.dir/sim/machine.cc.o" "gcc" "src/CMakeFiles/hcmpi_sim.dir/sim/machine.cc.o.d"
+  "/root/repo/src/sim/mpi_cost.cc" "src/CMakeFiles/hcmpi_sim.dir/sim/mpi_cost.cc.o" "gcc" "src/CMakeFiles/hcmpi_sim.dir/sim/mpi_cost.cc.o.d"
+  "/root/repo/src/sim/sw_sim.cc" "src/CMakeFiles/hcmpi_sim.dir/sim/sw_sim.cc.o" "gcc" "src/CMakeFiles/hcmpi_sim.dir/sim/sw_sim.cc.o.d"
+  "/root/repo/src/sim/syncbench.cc" "src/CMakeFiles/hcmpi_sim.dir/sim/syncbench.cc.o" "gcc" "src/CMakeFiles/hcmpi_sim.dir/sim/syncbench.cc.o.d"
+  "/root/repo/src/sim/thread_micro.cc" "src/CMakeFiles/hcmpi_sim.dir/sim/thread_micro.cc.o" "gcc" "src/CMakeFiles/hcmpi_sim.dir/sim/thread_micro.cc.o.d"
+  "/root/repo/src/sim/uts_hybrid.cc" "src/CMakeFiles/hcmpi_sim.dir/sim/uts_hybrid.cc.o" "gcc" "src/CMakeFiles/hcmpi_sim.dir/sim/uts_hybrid.cc.o.d"
+  "/root/repo/src/sim/uts_sim.cc" "src/CMakeFiles/hcmpi_sim.dir/sim/uts_sim.cc.o" "gcc" "src/CMakeFiles/hcmpi_sim.dir/sim/uts_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hcmpi_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcmpi_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

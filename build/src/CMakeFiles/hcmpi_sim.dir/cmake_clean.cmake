@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcmpi_sim.dir/sim/machine.cc.o"
+  "CMakeFiles/hcmpi_sim.dir/sim/machine.cc.o.d"
+  "CMakeFiles/hcmpi_sim.dir/sim/mpi_cost.cc.o"
+  "CMakeFiles/hcmpi_sim.dir/sim/mpi_cost.cc.o.d"
+  "CMakeFiles/hcmpi_sim.dir/sim/sw_sim.cc.o"
+  "CMakeFiles/hcmpi_sim.dir/sim/sw_sim.cc.o.d"
+  "CMakeFiles/hcmpi_sim.dir/sim/syncbench.cc.o"
+  "CMakeFiles/hcmpi_sim.dir/sim/syncbench.cc.o.d"
+  "CMakeFiles/hcmpi_sim.dir/sim/thread_micro.cc.o"
+  "CMakeFiles/hcmpi_sim.dir/sim/thread_micro.cc.o.d"
+  "CMakeFiles/hcmpi_sim.dir/sim/uts_hybrid.cc.o"
+  "CMakeFiles/hcmpi_sim.dir/sim/uts_hybrid.cc.o.d"
+  "CMakeFiles/hcmpi_sim.dir/sim/uts_sim.cc.o"
+  "CMakeFiles/hcmpi_sim.dir/sim/uts_sim.cc.o.d"
+  "libhcmpi_sim.a"
+  "libhcmpi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcmpi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

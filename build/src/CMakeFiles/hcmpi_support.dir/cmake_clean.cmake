@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcmpi_support.dir/support/flags.cc.o"
+  "CMakeFiles/hcmpi_support.dir/support/flags.cc.o.d"
+  "CMakeFiles/hcmpi_support.dir/support/sha1.cc.o"
+  "CMakeFiles/hcmpi_support.dir/support/sha1.cc.o.d"
+  "CMakeFiles/hcmpi_support.dir/support/stats.cc.o"
+  "CMakeFiles/hcmpi_support.dir/support/stats.cc.o.d"
+  "libhcmpi_support.a"
+  "libhcmpi_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcmpi_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

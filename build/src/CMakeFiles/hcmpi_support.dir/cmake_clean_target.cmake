@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhcmpi_support.a"
+)

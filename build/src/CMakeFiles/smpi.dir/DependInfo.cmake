@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smpi/collectives.cc" "src/CMakeFiles/smpi.dir/smpi/collectives.cc.o" "gcc" "src/CMakeFiles/smpi.dir/smpi/collectives.cc.o.d"
+  "/root/repo/src/smpi/comm.cc" "src/CMakeFiles/smpi.dir/smpi/comm.cc.o" "gcc" "src/CMakeFiles/smpi.dir/smpi/comm.cc.o.d"
+  "/root/repo/src/smpi/datatype.cc" "src/CMakeFiles/smpi.dir/smpi/datatype.cc.o" "gcc" "src/CMakeFiles/smpi.dir/smpi/datatype.cc.o.d"
+  "/root/repo/src/smpi/endpoint.cc" "src/CMakeFiles/smpi.dir/smpi/endpoint.cc.o" "gcc" "src/CMakeFiles/smpi.dir/smpi/endpoint.cc.o.d"
+  "/root/repo/src/smpi/p2p.cc" "src/CMakeFiles/smpi.dir/smpi/p2p.cc.o" "gcc" "src/CMakeFiles/smpi.dir/smpi/p2p.cc.o.d"
+  "/root/repo/src/smpi/rma.cc" "src/CMakeFiles/smpi.dir/smpi/rma.cc.o" "gcc" "src/CMakeFiles/smpi.dir/smpi/rma.cc.o.d"
+  "/root/repo/src/smpi/world.cc" "src/CMakeFiles/smpi.dir/smpi/world.cc.o" "gcc" "src/CMakeFiles/smpi.dir/smpi/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hcmpi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

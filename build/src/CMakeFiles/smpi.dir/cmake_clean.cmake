@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smpi.dir/smpi/collectives.cc.o"
+  "CMakeFiles/smpi.dir/smpi/collectives.cc.o.d"
+  "CMakeFiles/smpi.dir/smpi/comm.cc.o"
+  "CMakeFiles/smpi.dir/smpi/comm.cc.o.d"
+  "CMakeFiles/smpi.dir/smpi/datatype.cc.o"
+  "CMakeFiles/smpi.dir/smpi/datatype.cc.o.d"
+  "CMakeFiles/smpi.dir/smpi/endpoint.cc.o"
+  "CMakeFiles/smpi.dir/smpi/endpoint.cc.o.d"
+  "CMakeFiles/smpi.dir/smpi/p2p.cc.o"
+  "CMakeFiles/smpi.dir/smpi/p2p.cc.o.d"
+  "CMakeFiles/smpi.dir/smpi/rma.cc.o"
+  "CMakeFiles/smpi.dir/smpi/rma.cc.o.d"
+  "CMakeFiles/smpi.dir/smpi/world.cc.o"
+  "CMakeFiles/smpi.dir/smpi/world.cc.o.d"
+  "libsmpi.a"
+  "libsmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

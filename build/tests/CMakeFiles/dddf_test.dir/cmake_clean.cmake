@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dddf_test.dir/dddf_test.cc.o"
+  "CMakeFiles/dddf_test.dir/dddf_test.cc.o.d"
+  "dddf_test"
+  "dddf_test.pdb"
+  "dddf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dddf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

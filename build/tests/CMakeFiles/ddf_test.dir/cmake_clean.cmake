@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddf_test.dir/ddf_test.cc.o"
+  "CMakeFiles/ddf_test.dir/ddf_test.cc.o.d"
+  "ddf_test"
+  "ddf_test.pdb"
+  "ddf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

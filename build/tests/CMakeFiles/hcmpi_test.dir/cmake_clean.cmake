@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcmpi_test.dir/hcmpi_test.cc.o"
+  "CMakeFiles/hcmpi_test.dir/hcmpi_test.cc.o.d"
+  "hcmpi_test"
+  "hcmpi_test.pdb"
+  "hcmpi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcmpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

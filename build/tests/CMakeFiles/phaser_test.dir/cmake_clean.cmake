@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phaser_test.dir/phaser_test.cc.o"
+  "CMakeFiles/phaser_test.dir/phaser_test.cc.o.d"
+  "phaser_test"
+  "phaser_test.pdb"
+  "phaser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phaser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smpi_test.dir/smpi_test.cc.o"
+  "CMakeFiles/smpi_test.dir/smpi_test.cc.o.d"
+  "smpi_test"
+  "smpi_test.pdb"
+  "smpi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

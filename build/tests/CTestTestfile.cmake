@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/ddf_test[1]_include.cmake")
+include("/root/repo/build/tests/phaser_test[1]_include.cmake")
+include("/root/repo/build/tests/smpi_test[1]_include.cmake")
+include("/root/repo/build/tests/hcmpi_test[1]_include.cmake")
+include("/root/repo/build/tests/dddf_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/rma_test[1]_include.cmake")
+include("/root/repo/build/tests/am_transport_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
