@@ -9,9 +9,11 @@
 #include "bench/bench_util.h"
 #include "sim/uts_hybrid.h"
 #include "support/flags.h"
+#include "support/observe.h"
 
 int main(int argc, char** argv) {
   support::Flags flags(argc, argv);
+  support::Observe obs(flags);  // --trace=<file> / --metrics
   benchutil::header("Fig. 22 — HCMPI speedup vs MPI+OpenMP on UTS T1",
                     "Speedup = hybrid time / HCMPI time on the same tree.");
   sim::MachineConfig m = sim::jaguar();
@@ -41,5 +43,6 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  benchutil::run_traced_probe(obs);
   return 0;
 }

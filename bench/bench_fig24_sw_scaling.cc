@@ -13,9 +13,11 @@
 #include "bench/bench_util.h"
 #include "sim/sw_sim.h"
 #include "support/flags.h"
+#include "support/observe.h"
 
 int main(int argc, char** argv) {
   support::Flags flags(argc, argv);
+  support::Observe obs(flags);  // --trace=<file> / --metrics
   benchutil::header(
       "Fig. 24 / Table IV — Smith-Waterman DDDF scaling (DAVinCI model)",
       "Times in seconds; banded-diagonal DDF_HOME distribution.");
@@ -42,5 +44,6 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  benchutil::run_traced_probe(obs);
   return 0;
 }

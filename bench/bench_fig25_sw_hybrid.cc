@@ -13,9 +13,11 @@
 #include "bench/bench_util.h"
 #include "sim/sw_sim.h"
 #include "support/flags.h"
+#include "support/observe.h"
 
 int main(int argc, char** argv) {
   support::Flags flags(argc, argv);
+  support::Observe obs(flags);  // --trace=<file> / --metrics
   benchutil::header("Fig. 25 — SW speedup: MPI+OpenMP time / HCMPI-DDDF time",
                     "Values > 1 mean the DDDF dataflow version wins.");
   sim::MachineConfig m = sim::davinci();
@@ -44,5 +46,6 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  benchutil::run_traced_probe(obs);
   return 0;
 }

@@ -20,6 +20,7 @@
 #include "hcmpi/phaser_bridge.h"
 #include "smpi/world.h"
 #include "support/flags.h"
+#include "support/observe.h"
 
 namespace {
 
@@ -122,6 +123,7 @@ double bench_accumulator(int ranks, int tasks, int iters) {
 
 int main(int argc, char** argv) {
   support::Flags flags(argc, argv);
+  support::Observe obs(flags);  // --trace=<file> / --metrics
   const int iters = int(flags.get_int("iters", 200));
   benchutil::header(
       "Syncbench on real threads (host-relative calibration)",

@@ -11,9 +11,11 @@
 #include "bench/bench_util.h"
 #include "sim/uts_sim.h"
 #include "support/flags.h"
+#include "support/observe.h"
 
 int main(int argc, char** argv) {
   support::Flags flags(argc, argv);
+  support::Observe obs(flags);  // --trace=<file> / --metrics
   benchutil::header("Table III — UTS overhead analysis (T1, Jaguar model)",
                     "Times are per-resource averages in seconds; Fails are "
                     "global failed steal requests.");
@@ -49,5 +51,6 @@ int main(int argc, char** argv) {
           (unsigned long long)r_hc.failed_steals);
     }
   }
+  benchutil::run_traced_probe(obs);
   return 0;
 }

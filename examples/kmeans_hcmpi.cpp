@@ -21,6 +21,7 @@
 #include "hcmpi/phaser_bridge.h"
 #include "smpi/world.h"
 #include "support/flags.h"
+#include "support/observe.h"
 #include "support/rng.h"
 
 namespace {
@@ -108,6 +109,7 @@ std::vector<double> kmeans_serial(const Dataset& d, int k, int iters) {
 
 int main(int argc, char** argv) {
   support::Flags flags(argc, argv);
+  support::Observe obs(flags);  // --trace=<file> / --metrics
   const int ranks = int(flags.get_int("ranks", 4));
   const std::size_t points = std::size_t(flags.get_int("points", 8000));
   const int k = int(flags.get_int("k", 8));

@@ -15,6 +15,7 @@
 #include "hcmpi/phaser_bridge.h"
 #include "smpi/world.h"
 #include "support/flags.h"
+#include "support/observe.h"
 
 namespace {
 
@@ -90,6 +91,7 @@ void demo_hcmpi(int ranks, int workers) {
 
 int main(int argc, char** argv) {
   support::Flags flags(argc, argv);
+  support::Observe obs(flags);  // --trace=<file> / --metrics
   demo_tasks();
   demo_ddf();
   demo_hcmpi(int(flags.get_int("ranks", 4)), int(flags.get_int("workers", 2)));

@@ -20,6 +20,7 @@
 #include "hcmpi/context.h"
 #include "smpi/world.h"
 #include "support/flags.h"
+#include "support/observe.h"
 
 namespace {
 
@@ -50,6 +51,7 @@ std::vector<int> decode_ints(const std::vector<std::uint8_t>& b) {
 
 int main(int argc, char** argv) {
   support::Flags flags(argc, argv);
+  support::Observe obs(flags);  // --trace=<file> / --metrics
   const int ranks = int(flags.get_int("ranks", 4));
   const std::size_t len = std::size_t(flags.get_int("len", 512));
   const std::size_t tile = std::size_t(flags.get_int("tile", 64));

@@ -16,9 +16,11 @@
 #include "hcmpi/phaser_bridge.h"
 #include "smpi/world.h"
 #include "support/flags.h"
+#include "support/observe.h"
 
 int main(int argc, char** argv) {
   support::Flags flags(argc, argv);
+  support::Observe obs(flags);  // --trace=<file> / --metrics
   const int ranks = int(flags.get_int("ranks", 4));
   const std::size_t cells = std::size_t(flags.get_int("cells", 4096));
   const int iters = int(flags.get_int("iters", 200));

@@ -25,6 +25,7 @@
 #include "hcmpi/context.h"
 #include "smpi/world.h"
 #include "support/flags.h"
+#include "support/observe.h"
 #include "support/rng.h"
 
 namespace {
@@ -289,6 +290,7 @@ void arm_done_handler(RankState& st) {
 
 int main(int argc, char** argv) {
   support::Flags flags(argc, argv);
+  support::Observe obs(flags);  // --trace=<file> / --metrics
   const int ranks = int(flags.get_int("ranks", 4));
   const int workers = int(flags.get_int("workers", 2));
   const int chunk = int(flags.get_int("chunk", 16));

@@ -12,6 +12,7 @@
 #include "apps/uts/uts.h"
 #include "core/api.h"
 #include "support/flags.h"
+#include "support/observe.h"
 
 namespace {
 
@@ -48,6 +49,7 @@ struct Search {
 
 int main(int argc, char** argv) {
   support::Flags flags(argc, argv);
+  support::Observe obs(flags);  // --trace=<file> / --metrics
   uts::Params p;
   p.b0 = flags.get_double("b0", 4.0);
   p.gen_mx = int(flags.get_int("gen_mx", 8));

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "core/place.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace hc {
 
@@ -43,6 +45,10 @@ Runtime::~Runtime() {
     idle_cv_.notify_all();
   }
   for (auto& w : workers_) w->join();
+  // Worker threads are quiescent now: flush rings and counters while the
+  // per-worker state is still alive.
+  if (support::trace::enabled()) flush_trace_tracks();
+  export_metrics(support::MetricsRegistry::global());
   // Drain anything never executed (only possible after an exceptional exit).
   Task* t = nullptr;
   while ((t = pop_injected()) != nullptr) delete t;
@@ -128,6 +134,64 @@ std::uint64_t Runtime::total_steals() const {
   std::uint64_t n = 0;
   for (const auto& w : workers_) n += w->steals();
   return n;
+}
+
+std::uint64_t Runtime::total_steal_attempts() const {
+  std::uint64_t n = 0;
+  for (const auto& w : workers_) n += w->steal_attempts();
+  for (const auto& w : producer_storage_) n += w->steal_attempts();
+  return n;
+}
+
+std::uint64_t Runtime::total_failed_steal_rounds() const {
+  std::uint64_t n = 0;
+  for (const auto& w : workers_) n += w->failed_steal_rounds();
+  return n;
+}
+
+std::vector<Runtime::WorkerCounters> Runtime::worker_counters() const {
+  std::vector<WorkerCounters> out;
+  auto snap = [&](const Worker& w) {
+    WorkerCounters c;
+    c.id = w.id();
+    c.computation = w.is_computation();
+    c.tasks_executed = w.tasks_executed();
+    c.steals = w.steals();
+    c.steal_attempts = w.steal_attempts();
+    c.failed_steal_rounds = w.failed_steal_rounds();
+    out.push_back(c);
+  };
+  for (const auto& w : workers_) snap(*w);
+  int producers = producer_count_.load(std::memory_order_acquire);
+  for (int i = 0; i < producers; ++i) snap(*producer_storage_[std::size_t(i)]);
+  return out;
+}
+
+void Runtime::export_metrics(support::MetricsRegistry& reg) const {
+  reg.counter("hc.tasks_executed").add(total_tasks_executed());
+  reg.counter("hc.steals").add(total_steals());
+  reg.counter("hc.steal_attempts").add(total_steal_attempts());
+  reg.counter("hc.failed_steal_rounds").add(total_failed_steal_rounds());
+  // Load-balance shape: one sample per computation worker, so p50/p95 of
+  // tasks-per-worker expose skew without a name per worker id.
+  auto& h = reg.histogram("hc.tasks_per_worker");
+  for (const auto& w : workers_) h.add(double(w->tasks_executed()));
+}
+
+void Runtime::flush_trace_tracks() const {
+  auto& collector = support::trace::Collector::global();
+  auto flush = [&](const Worker& w) {
+    support::trace::Track t;
+    t.pid = trace_pid_;
+    t.tid = w.id();
+    t.name = w.trace_name();
+    t.events = w.trace_ring().snapshot();
+    t.dropped = w.trace_ring().dropped();
+    if (!t.events.empty()) collector.add_track(std::move(t));
+  };
+  for (const auto& w : workers_) flush(*w);
+  int producers = producer_count_.load(std::memory_order_acquire);
+  for (int i = 0; i < producers; ++i) flush(*producer_storage_[std::size_t(i)]);
 }
 
 }  // namespace hc

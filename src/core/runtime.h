@@ -21,6 +21,10 @@
 #include "core/task.h"
 #include "core/worker.h"
 
+namespace support {
+class MetricsRegistry;
+}
+
 namespace hc {
 
 class PlaceTree;
@@ -99,6 +103,36 @@ class Runtime {
   // Aggregate counters for tests/benches.
   std::uint64_t total_tasks_executed() const;
   std::uint64_t total_steals() const;
+  std::uint64_t total_steal_attempts() const;
+  std::uint64_t total_failed_steal_rounds() const;
+
+  // Per-worker breakdown over all live slots (computation + producers).
+  struct WorkerCounters {
+    int id = 0;
+    bool computation = false;
+    std::uint64_t tasks_executed = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t steal_attempts = 0;
+    std::uint64_t failed_steal_rounds = 0;
+  };
+  std::vector<WorkerCounters> worker_counters() const;
+
+  // --- observability ---
+
+  // Rank identity stamped on flushed trace tracks (Chrome-trace pid).
+  // Default 0; hcmpi::Context sets its rank.
+  void set_trace_pid(int pid) { trace_pid_ = pid; }
+  int trace_pid() const { return trace_pid_; }
+
+  // Adds this runtime's scheduler counters ("hc.*") and the per-worker
+  // task-balance histogram to `reg`. Called with the global registry at
+  // destruction; callable earlier for rank-local snapshots.
+  void export_metrics(support::MetricsRegistry& reg) const;
+
+  // Snapshots every worker's event ring into the global trace collector.
+  // The destructor calls this after joining worker threads (quiescent
+  // rings); tracing must be enabled for events to have been recorded.
+  void flush_trace_tracks() const;
 
  private:
   friend class Worker;
@@ -118,6 +152,7 @@ class Runtime {
   std::atomic<bool> stopping_{false};
 
   std::mutex producer_mu_;
+  int trace_pid_ = 0;
 };
 
 }  // namespace hc

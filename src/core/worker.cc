@@ -11,7 +11,8 @@ void bind_worker_thread(Runtime* rt, Worker* w);
 
 Worker::Worker(Runtime& rt, int id, bool has_thread)
     : rt_(rt), id_(id), has_thread_(has_thread),
-      rng_(0xC0FFEEull * std::uint64_t(id + 1) + 0x9E3779B9ull) {}
+      rng_(0xC0FFEEull * std::uint64_t(id + 1) + 0x9E3779B9ull),
+      trace_name_((has_thread ? "worker-" : "producer-") + std::to_string(id)) {}
 
 Worker::~Worker() = default;
 
@@ -27,7 +28,12 @@ void Worker::join() {
   }
 }
 
-void Worker::push(Task* t) { deque_.push(t); }
+void Worker::push(Task* t) {
+  // push() is only ever called by this worker's bound thread (schedule()
+  // routes through tl_worker), so recording here keeps the ring SPSC.
+  trace_ring_.record(support::trace::Ev::kTaskSpawn, std::uint32_t(id_));
+  deque_.push(t);
+}
 
 Task* Worker::try_get_task() {
   // 1. Own deque (LIFO end: locality, as in the paper's runtime).
@@ -47,19 +53,23 @@ Task* Worker::try_get_task() {
   // 4. Steal from a random victim; one full scan per call.
   int slots = rt_.total_slots();
   if (slots > 1) {
+    trace_ring_.record(support::trace::Ev::kStealAttempt, std::uint32_t(id_));
     int start = int(rng_.next_below(std::uint64_t(slots)));
     for (int k = 0; k < slots; ++k) {
       int v = (start + k) % slots;
       if (v == id_) continue;
       Worker* victim = rt_.slot(v);
       if (victim == nullptr) continue;
+      bump(steal_attempts_);
       if (Task* t = victim->steal()) {
-        ++steals_;
+        bump(steals_);
+        trace_ring_.record(support::trace::Ev::kStealSuccess,
+                           std::uint32_t(v));
         return t;
       }
     }
   }
-  ++failed_steal_rounds_;
+  bump(failed_steal_rounds_);
   return nullptr;
 }
 
@@ -84,7 +94,11 @@ void Worker::main_loop(std::stop_token st) {
     if (Task* t = try_get_task()) {
       execute(t);
     } else {
+      // Park span: the gap the paper's "computation workers never block in
+      // MPI" claim is about — visible idle time, not hidden in MPI_Wait.
+      trace_ring_.record(support::trace::Ev::kIdleBegin, std::uint32_t(id_));
       rt_.idle_wait();
+      trace_ring_.record(support::trace::Ev::kIdleEnd, std::uint32_t(id_));
     }
   }
 }

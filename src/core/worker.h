@@ -9,11 +9,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 #include <thread>
 
 #include "core/task.h"
 #include "support/chase_lev_deque.h"
 #include "support/rng.h"
+#include "support/trace.h"
 
 namespace hc {
 
@@ -48,20 +50,50 @@ class Worker {
   static void run_task(Task* t);
 
   // run_task + this worker's execution counter; the form used by the main
-  // loop and by help-first waiting.
+  // loop and by help-first waiting. Task spans nest under help-first
+  // waiting, which the B/E trace events model directly.
   void execute(Task* t) {
-    ++tasks_executed_;
+    bump(tasks_executed_);
+    trace_ring_.record(support::trace::Ev::kTaskStart, std::uint32_t(id_));
     run_task(t);
+    trace_ring_.record(support::trace::Ev::kTaskEnd, std::uint32_t(id_));
   }
 
-  // Per-worker counters, exposed for tests and the ablation bench.
-  std::uint64_t tasks_executed() const { return tasks_executed_; }
-  std::uint64_t steals() const { return steals_; }
-  std::uint64_t failed_steal_rounds() const { return failed_steal_rounds_; }
+  // Per-worker counters, exposed for tests and the ablation bench. Single
+  // writer (the worker's own thread); readers may sample live workers, so
+  // they are relaxed atomics bumped with load+store (a plain increment on
+  // every mainstream ISA, not an RMW).
+  std::uint64_t tasks_executed() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t steals() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t steal_attempts() const {
+    return steal_attempts_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t failed_steal_rounds() const {
+    return failed_steal_rounds_.load(std::memory_order_relaxed);
+  }
+
+  // This worker's trace event ring. The producer is the bound OS thread
+  // (the worker's own thread, or the registered external thread for
+  // producer slots); snapshots are safe from anywhere.
+  support::trace::Ring& trace_ring() { return trace_ring_; }
+  const support::trace::Ring& trace_ring() const { return trace_ring_; }
+
+  // Timeline label used by the Chrome-trace exporter ("worker-N" unless
+  // overridden — the HCMPI communication worker names itself).
+  void set_trace_name(std::string name) { trace_name_ = std::move(name); }
+  const std::string& trace_name() const { return trace_name_; }
 
  private:
   friend class Runtime;
   void main_loop(std::stop_token st);
+
+  static void bump(std::atomic<std::uint64_t>& c) {
+    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
 
   Runtime& rt_;
   const int id_;
@@ -70,9 +102,13 @@ class Worker {
   support::Xoshiro256 rng_;
   std::jthread thread_;
 
-  std::uint64_t tasks_executed_ = 0;
-  std::uint64_t steals_ = 0;
-  std::uint64_t failed_steal_rounds_ = 0;
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> steal_attempts_{0};
+  std::atomic<std::uint64_t> failed_steal_rounds_{0};
+
+  support::trace::Ring trace_ring_;
+  std::string trace_name_;
 };
 
 }  // namespace hc

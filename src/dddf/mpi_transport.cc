@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "support/metrics.h"
+#include "support/trace.h"
+
 namespace dddf {
 
 namespace {
@@ -19,6 +22,12 @@ struct RegisterMsg {
 MpiTransport::MpiTransport(hcmpi::Context& ctx) :
     Transport(ctx.rank(), ctx.size()), ctx_(ctx) {
   ctx_.set_poller([this](smpi::Comm& comm) { return poll(comm); });
+}
+
+MpiTransport::~MpiTransport() {
+  auto& reg = support::MetricsRegistry::global();
+  reg.counter("dddf.bytes_sent").add(bytes_sent_);
+  reg.counter("dddf.bytes_received").add(bytes_received_);
 }
 
 void MpiTransport::send_register(Guid guid, int home) {
@@ -40,6 +49,7 @@ void MpiTransport::send_data(Guid guid, int to, Bytes payload) {
     comm.send(wire.data(), wire.size(), to, kTagData);
   });
   ++data_sent_;
+  bytes_sent_ += payload.size();
 }
 
 void MpiTransport::post(std::function<void()> fn) {
@@ -70,6 +80,15 @@ bool MpiTransport::poll(smpi::Comm& comm) {
     Guid guid = 0;
     std::memcpy(&guid, wire.data(), sizeof(Guid));
     Bytes payload(wire.begin() + sizeof(Guid), wire.end());
+    bytes_received_ += payload.size();
+    if (support::trace::enabled()) {
+      // poll() runs on the communication worker — a registered producer
+      // slot, so current_worker() resolves to its ring.
+      if (hc::Worker* w = hc::Runtime::current_worker()) {
+        w->trace_ring().record(support::trace::Ev::kDddfData,
+                               std::uint32_t(guid), payload.size());
+      }
+    }
     on_data_(guid, std::move(payload));
   }
   return progress;

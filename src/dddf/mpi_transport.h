@@ -13,6 +13,7 @@ namespace dddf {
 class MpiTransport : public Transport {
  public:
   explicit MpiTransport(hcmpi::Context& ctx);
+  ~MpiTransport() override;  // exports dddf.bytes_* to the global registry
 
   void send_register(Guid guid, int home) override;
   void send_data(Guid guid, int to, Bytes payload) override;
@@ -22,13 +23,17 @@ class MpiTransport : public Transport {
   // Introspection used by tests.
   std::uint64_t data_messages_sent() const { return data_sent_; }
   std::uint64_t registrations_received() const { return regs_received_; }
+  std::uint64_t payload_bytes_sent() const { return bytes_sent_; }
+  std::uint64_t payload_bytes_received() const { return bytes_received_; }
 
  private:
   bool poll(smpi::Comm& comm);
 
   hcmpi::Context& ctx_;
-  std::uint64_t data_sent_ = 0;       // progress-context only
-  std::uint64_t regs_received_ = 0;   // progress-context only
+  std::uint64_t data_sent_ = 0;        // protocol DATA messages queued
+  std::uint64_t bytes_sent_ = 0;       // payload bytes in those messages
+  std::uint64_t regs_received_ = 0;    // progress-context only
+  std::uint64_t bytes_received_ = 0;   // progress-context only
 };
 
 }  // namespace dddf

@@ -2,9 +2,25 @@
 
 #include <stdexcept>
 
+#include "core/runtime.h"
 #include "dddf/mpi_transport.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace dddf {
+
+namespace {
+// DDDF protocol events land on the ring of whatever worker slot runs the
+// handler: the hcmpi communication worker (progress context) or a
+// computation worker issuing the first remote fetch.
+void record_event(support::trace::Ev ev, Guid guid, std::uint64_t bytes) {
+  if (!support::trace::enabled()) return;
+  hc::Worker* w = hc::Runtime::current_worker();
+  if (w != nullptr) {
+    w->trace_ring().record(ev, std::uint32_t(guid), bytes);
+  }
+}
+}  // namespace
 
 Space::Space(hcmpi::Context& ctx, SpaceConfig cfg)
     : Space(std::make_unique<MpiTransport>(ctx), std::move(cfg)) {}
@@ -16,7 +32,14 @@ Space::Space(std::unique_ptr<Transport> transport, SpaceConfig cfg)
       [this](Guid g, Bytes payload) { on_data(g, std::move(payload)); });
 }
 
-Space::~Space() = default;
+Space::~Space() {
+  // Fold this rank's protocol counters into the process-wide registry
+  // before the transport (and its progress context) goes away.
+  auto& reg = support::MetricsRegistry::global();
+  reg.counter("dddf.remote_gets_issued").add(remote_gets_issued());
+  reg.counter("dddf.registrations_received").add(regs_received_);
+  reg.counter("dddf.data_messages_sent").add(data_sent_);
+}
 
 Space::Entry* Space::ensure(Guid guid) {
   std::lock_guard<std::mutex> lk(mu_);
@@ -38,6 +61,8 @@ hc::DdfBase* Space::request(Guid guid) {
     // First consumer on this rank: register intent with the home rank
     // (paper: "the runtime sends the home location a message to register
     // its intent on receiving the put data").
+    gets_issued_.fetch_add(1, std::memory_order_relaxed);
+    record_event(support::trace::Ev::kDddfGetIssued, guid, 0);
     transport_->send_register(guid, home);
   }
   return &e->ddf;
@@ -65,6 +90,7 @@ const Bytes& Space::get(Guid guid) { return ensure(guid)->ddf.get(); }
 
 void Space::serve(Guid guid, Entry* e, int requester) {
   if (!served_[guid].insert(requester).second) return;  // at-most-once
+  record_event(support::trace::Ev::kDddfServed, guid, e->ddf.get().size());
   transport_->send_data(guid, requester, e->ddf.get());
   ++data_sent_;
 }

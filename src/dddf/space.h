@@ -25,6 +25,7 @@
 // cache trivially coherent and all accesses race-free and deterministic.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <functional>
@@ -108,6 +109,9 @@ class Space {
   // Introspection for tests.
   std::uint64_t data_messages_sent() const { return data_sent_; }
   std::uint64_t registrations_received() const { return regs_received_; }
+  std::uint64_t remote_gets_issued() const {
+    return gets_issued_.load(std::memory_order_relaxed);
+  }
   Transport& transport() { return *transport_; }
 
  private:
@@ -135,6 +139,8 @@ class Space {
   std::unordered_map<Guid, std::unordered_set<int>> served_;
   std::uint64_t data_sent_ = 0;
   std::uint64_t regs_received_ = 0;
+  // Bumped from consumer threads (first await on a remote guid), hence atomic.
+  std::atomic<std::uint64_t> gets_issued_{0};
 };
 
 }  // namespace dddf

@@ -80,6 +80,21 @@ struct CommTask {
   std::atomic<std::uint64_t> gen{0};
   CommKind kind = CommKind::kIsend;
 
+  // Stable index into the owning Context's task arena; with `gen` it names
+  // one task *incarnation* — the id the trace exporter keys lifecycle spans
+  // on (paper Fig. 10: ALLOCATED -> PRESCRIBED -> ACTIVE -> COMPLETED ->
+  // AVAILABLE).
+  std::uint32_t slot_id = 0;
+
+  // Lifecycle timestamps on the support::trace::now_ns clock. Each is
+  // written by the single thread driving that transition (allocated and
+  // prescribed by the submitter, active and completed by the communication
+  // worker) and read only after completion; 0 while tracing is disabled.
+  std::uint64_t ts_allocated = 0;
+  std::uint64_t ts_prescribed = 0;
+  std::uint64_t ts_active = 0;
+  std::uint64_t ts_completed = 0;
+
   // Point-to-point.
   const void* send_buf = nullptr;
   void* recv_buf = nullptr;

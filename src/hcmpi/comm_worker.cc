@@ -165,7 +165,8 @@ RequestHandle Context::submit_nb_allreduce(const void* in, void* out,
 }
 
 void Context::comm_worker_main() {
-  runtime_->register_producer();
+  hc::Worker* self = runtime_->register_producer();
+  self->set_trace_name("comm-worker");
 
   std::vector<CommTask*> active;        // ACTIVE irecvs being polled
   std::deque<CommTask*> coll_queue;     // FIFO of collectives
@@ -174,11 +175,24 @@ void Context::comm_worker_main() {
   auto complete_p2p = [&](CommTask* t) {
     Status st;
     comm_.test(t->sreq, &st);
+    comm_counters_.p2p_completions.fetch_add(1, std::memory_order_relaxed);
     complete_task(t, st);
+  };
+
+  // The PRESCRIBED -> ACTIVE transition of Fig. 10: timestamped and
+  // ring-recorded on the communication worker, which drives it.
+  auto mark_active = [&](CommTask* t) {
+    if (support::trace::enabled()) {
+      t->ts_active = support::trace::now_ns();
+      self->trace_ring().record(support::trace::Ev::kCommActive, t->slot_id,
+                                t->gen.load(std::memory_order_relaxed));
+    }
+    t->state.store(CommTaskState::kActive, std::memory_order_release);
   };
 
   for (;;) {
     bool progress = false;
+    comm_counters_.loop_iterations.fetch_add(1, std::memory_order_relaxed);
 
     // 1. Drain the worklist.
     CommTask* t = nullptr;
@@ -190,13 +204,13 @@ void Context::comm_worker_main() {
           release_task(t);
           break;
         case CommKind::kIsend: {
-          t->state.store(CommTaskState::kActive, std::memory_order_release);
+          mark_active(t);
           t->sreq = comm_.isend(t->send_buf, t->bytes, t->peer, t->tag);
           complete_p2p(t);  // eager substrate: sends complete immediately
           break;
         }
         case CommKind::kIrecv: {
-          t->state.store(CommTaskState::kActive, std::memory_order_release);
+          mark_active(t);
           t->sreq = comm_.irecv(t->recv_buf, t->bytes, t->peer, t->tag);
           if (t->sreq->done()) {
             complete_p2p(t);
@@ -226,7 +240,7 @@ void Context::comm_worker_main() {
           break;
         }
         case CommKind::kExec: {
-          t->state.store(CommTaskState::kActive, std::memory_order_release);
+          mark_active(t);
           t->exec(sys_comm_);
           Status st;
           complete_task(t, st);
@@ -234,7 +248,7 @@ void Context::comm_worker_main() {
         }
         default:
           // Collectives: ordered FIFO execution.
-          t->state.store(CommTaskState::kActive, std::memory_order_release);
+          mark_active(t);
           coll_queue.push_back(t);
           break;
       }
@@ -242,6 +256,7 @@ void Context::comm_worker_main() {
 
     // 2. Poll ACTIVE point-to-point requests (the paper's MPI_Test loop).
     for (std::size_t i = 0; i < active.size();) {
+      comm_counters_.p2p_polls.fetch_add(1, std::memory_order_relaxed);
       if (active[i]->sreq->done()) {
         CommTask* done = active[i];
         active[i] = active.back();
@@ -260,6 +275,8 @@ void Context::comm_worker_main() {
       switch (head->kind) {
         case CommKind::kNbBarrier:
           if (!head->script) head->script.reset(NbScript::barrier(sys_comm_));
+          comm_counters_.coll_script_steps.fetch_add(
+              1, std::memory_order_relaxed);
           finished = head->script->step(sys_comm_);
           break;
         case CommKind::kNbAllreduce:
@@ -268,6 +285,8 @@ void Context::comm_worker_main() {
                                                    head->count, head->dtype,
                                                    head->op));
           }
+          comm_counters_.coll_script_steps.fetch_add(
+              1, std::memory_order_relaxed);
           finished = head->script->step(sys_comm_);
           if (finished && head->coll_out != nullptr &&
               !head->script->acc.empty()) {
@@ -314,6 +333,7 @@ void Context::comm_worker_main() {
       }
       if (finished) {
         coll_queue.pop_front();
+        comm_counters_.collectives.fetch_add(1, std::memory_order_relaxed);
         Status st;
         complete_task(head, st);
         progress = true;

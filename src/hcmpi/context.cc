@@ -4,11 +4,23 @@
 
 namespace hcmpi {
 
+namespace {
+// The event ring of whatever worker slot this thread is bound to (a
+// computation worker, or the communication worker's producer slot), if any.
+// Lifecycle events from unbound threads keep their timestamps but are not
+// ring-recorded.
+support::trace::Ring* cur_ring() {
+  hc::Worker* w = hc::Runtime::current_worker();
+  return w != nullptr ? &w->trace_ring() : nullptr;
+}
+}  // namespace
+
 Context::Context(smpi::Comm comm, const ContextConfig& cfg)
     : comm_(comm), sys_comm_(comm.dup()) {
   hc::RuntimeConfig rc;
   rc.num_workers = cfg.num_workers;
   runtime_ = std::make_unique<hc::Runtime>(rc);
+  runtime_->set_trace_pid(comm_.rank());  // one Chrome-trace pid per rank
   comm_thread_ = std::jthread([this] { comm_worker_main(); });
 }
 
@@ -18,25 +30,51 @@ Context::~Context() {
   submit(t);
   if (comm_thread_.joinable()) comm_thread_.join();
   runtime_.reset();
+  export_metrics(support::MetricsRegistry::global());
   for (CommTask* task : pool_) (void)task;  // owned by all_tasks_
 }
 
+void Context::export_metrics(support::MetricsRegistry& reg) const {
+  reg.counter("hcmpi.comm_tasks_submitted")
+      .add(comm_counters_.tasks_submitted.load(std::memory_order_relaxed));
+  reg.counter("hcmpi.comm_tasks_recycled").add(tasks_recycled());
+  reg.counter("hcmpi.poll_loop_iterations")
+      .add(comm_counters_.loop_iterations.load(std::memory_order_relaxed));
+  reg.counter("hcmpi.p2p_polls")
+      .add(comm_counters_.p2p_polls.load(std::memory_order_relaxed));
+  reg.counter("hcmpi.p2p_completions")
+      .add(comm_counters_.p2p_completions.load(std::memory_order_relaxed));
+  reg.counter("hcmpi.coll_script_steps")
+      .add(comm_counters_.coll_script_steps.load(std::memory_order_relaxed));
+  reg.counter("hcmpi.collectives_executed")
+      .add(comm_counters_.collectives.load(std::memory_order_relaxed));
+  reg.histogram("hcmpi.comm_task_latency_ns").merge(lifecycle_latency_ns_);
+}
+
 CommTask* Context::allocate_task() {
+  CommTask* t = nullptr;
   {
     std::lock_guard<support::SpinLock> lk(pool_mu_);
     if (!pool_.empty()) {
-      CommTask* t = pool_.back();
+      t = pool_.back();
       pool_.pop_back();
       t->state.store(CommTaskState::kAllocated, std::memory_order_relaxed);
       recycled_.fetch_add(1, std::memory_order_relaxed);
-      return t;
     }
   }
-  auto owned = std::make_unique<CommTask>();
-  CommTask* t = owned.get();
-  {
+  if (t == nullptr) {
+    auto owned = std::make_unique<CommTask>();
+    t = owned.get();
     std::lock_guard<support::SpinLock> lk(pool_mu_);
+    t->slot_id = std::uint32_t(all_tasks_.size());
     all_tasks_.push_back(std::move(owned));
+  }
+  if (support::trace::enabled()) {
+    t->ts_allocated = support::trace::now_ns();
+    if (auto* ring = cur_ring()) {
+      ring->record(support::trace::Ev::kCommAllocated, t->slot_id,
+                   t->gen.load(std::memory_order_relaxed));
+    }
   }
   return t;
 }
@@ -49,6 +87,14 @@ void Context::release_task(CommTask* t) {
   t->exec = nullptr;
   t->script.reset();
   t->target = nullptr;
+  if (support::trace::enabled()) {
+    if (auto* ring = cur_ring()) {
+      // Emitted under the pre-bump generation so the AVAILABLE transition
+      // closes the same incarnation's lifecycle span.
+      ring->record(support::trace::Ev::kCommAvailable, t->slot_id,
+                   t->gen.load(std::memory_order_relaxed));
+    }
+  }
   t->gen.fetch_add(1, std::memory_order_acq_rel);
   t->state.store(CommTaskState::kAvailable, std::memory_order_release);
   std::lock_guard<support::SpinLock> lk(pool_mu_);
@@ -62,6 +108,14 @@ std::uint64_t Context::pool_size() const {
 }
 
 void Context::submit(CommTask* t) {
+  comm_counters_.tasks_submitted.fetch_add(1, std::memory_order_relaxed);
+  if (support::trace::enabled()) {
+    t->ts_prescribed = support::trace::now_ns();
+    if (auto* ring = cur_ring()) {
+      ring->record(support::trace::Ev::kCommPrescribed, t->slot_id,
+                   t->gen.load(std::memory_order_relaxed));
+    }
+  }
   t->state.store(CommTaskState::kPrescribed, std::memory_order_release);
   worklist_.push(t);
 }
@@ -92,6 +146,16 @@ void Context::set_poller(std::function<bool(smpi::Comm&)> poller) {
 }
 
 void Context::complete_task(CommTask* t, const Status& st) {
+  if (support::trace::enabled()) {
+    t->ts_completed = support::trace::now_ns();
+    if (auto* ring = cur_ring()) {
+      ring->record(support::trace::Ev::kCommCompleted, t->slot_id,
+                   t->gen.load(std::memory_order_relaxed));
+    }
+    if (t->ts_prescribed != 0 && t->ts_completed >= t->ts_prescribed) {
+      lifecycle_latency_ns_.add(double(t->ts_completed - t->ts_prescribed));
+    }
+  }
   t->state.store(CommTaskState::kCompleted, std::memory_order_release);
   RequestHandle req = t->request;
   hc::FinishScope* fs = t->finish;

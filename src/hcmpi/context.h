@@ -24,8 +24,10 @@
 #include "hcmpi/comm_task.h"
 #include "smpi/comm.h"
 #include "smpi/world.h"
+#include "support/metrics.h"
 #include "support/mpsc_queue.h"
 #include "support/spin.h"
+#include "support/trace.h"
 
 namespace hcmpi {
 
@@ -128,6 +130,25 @@ class Context {
     return recycled_.load(std::memory_order_relaxed);
   }
 
+  // Per-phase counters for the communication worker's progress loop
+  // (paper Fig. 10's MPI_Test poll loop). Relaxed atomics: bumped by the
+  // communication worker, readable from any thread at any time.
+  struct CommCounters {
+    std::atomic<std::uint64_t> loop_iterations{0};   // progress-loop turns
+    std::atomic<std::uint64_t> p2p_polls{0};         // MPI_Test calls
+    std::atomic<std::uint64_t> p2p_completions{0};
+    std::atomic<std::uint64_t> coll_script_steps{0};  // nb-collective steps
+    std::atomic<std::uint64_t> collectives{0};        // collectives finished
+    std::atomic<std::uint64_t> tasks_submitted{0};
+  };
+  const CommCounters& comm_counters() const { return comm_counters_; }
+
+  // Adds this rank's "hcmpi.*" counters and the comm-task lifecycle latency
+  // histogram (PRESCRIBED -> COMPLETED, only sampled while tracing is
+  // enabled) to `reg`. The destructor exports into the global registry;
+  // tests export rank-local registries and merge them.
+  void export_metrics(support::MetricsRegistry& reg) const;
+
  private:
   friend class CommWorker;
 
@@ -155,6 +176,9 @@ class Context {
 
   std::function<bool(smpi::Comm&)> poller_;
   std::atomic<bool> poller_set_{false};
+
+  CommCounters comm_counters_;
+  support::MetricsRegistry::Histogram lifecycle_latency_ns_;
 
   std::jthread comm_thread_;
 };

@@ -1,0 +1,111 @@
+#include "support/metrics.h"
+
+#include <vector>
+
+namespace support {
+
+MetricsRegistry::Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+MetricsRegistry::Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+MetricsRegistry::Histogram& MetricsRegistry::histogram(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+bool MetricsRegistry::has_counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_.count(name) > 0;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  if (&other == this) return;
+  // Copy the other side's entry pointers under its lock, then fold in
+  // without holding both (entries are never deleted, so the pointers stay
+  // valid; counter/gauge reads are atomic, histogram merge locks itself).
+  std::vector<std::pair<std::string, const Counter*>> cs;
+  std::vector<std::pair<std::string, const Gauge*>> gs;
+  std::vector<std::pair<std::string, const Histogram*>> hs;
+  {
+    std::lock_guard<std::mutex> lk(other.mu_);
+    for (const auto& [n, c] : other.counters_) cs.emplace_back(n, c.get());
+    for (const auto& [n, g] : other.gauges_) gs.emplace_back(n, g.get());
+    for (const auto& [n, h] : other.histograms_) hs.emplace_back(n, h.get());
+  }
+  for (const auto& [n, c] : cs) counter(n).add(c->value());
+  for (const auto& [n, g] : gs) gauge(n).set(g->value());
+  for (const auto& [n, h] : hs) histogram(n).merge(*h);
+}
+
+std::string MetricsRegistry::dump() const {
+  // Snapshot entry pointers under the map lock, format outside it.
+  std::vector<std::pair<std::string, const Counter*>> cs;
+  std::vector<std::pair<std::string, const Gauge*>> gs;
+  std::vector<std::pair<std::string, const Histogram*>> hs;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [n, c] : counters_) cs.emplace_back(n, c.get());
+    for (const auto& [n, g] : gauges_) gs.emplace_back(n, g.get());
+    for (const auto& [n, h] : histograms_) hs.emplace_back(n, h.get());
+  }
+  std::string out;
+  char buf[256];
+  for (const auto& [n, c] : cs) {
+    std::snprintf(buf, sizeof buf, "counter  %-44s %llu\n", n.c_str(),
+                  (unsigned long long)c->value());
+    out += buf;
+  }
+  for (const auto& [n, g] : gs) {
+    std::snprintf(buf, sizeof buf, "gauge    %-44s %.6g\n", n.c_str(),
+                  g->value());
+    out += buf;
+  }
+  for (const auto& [n, h] : hs) {
+    Stats s = h->stats();
+    std::snprintf(buf, sizeof buf,
+                  "hist     %-44s count=%llu mean=%.1f p50=%.1f p95=%.1f "
+                  "max=%.1f\n",
+                  n.c_str(), (unsigned long long)s.count(), s.mean(),
+                  h->percentile(50), h->percentile(95), s.max());
+    out += buf;
+  }
+  return out;
+}
+
+void MetricsRegistry::dump(std::FILE* f) const {
+  std::string s = dump();
+  std::fwrite(s.data(), 1, s.size(), f);
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* r = new MetricsRegistry;  // never destroyed
+  return *r;
+}
+
+}  // namespace support

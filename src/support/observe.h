@@ -1,0 +1,57 @@
+// RAII wiring of the --trace=<file> / --metrics flags for the bench and
+// example binaries: construct one Observe from the parsed Flags at the top
+// of main, and at scope exit it writes the Chrome trace (if requested) and
+// prints the metrics-registry block alongside the binary's own output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "support/flags.h"
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace support {
+
+class Observe {
+ public:
+  explicit Observe(const Flags& flags)
+      : trace_path_(flags.get("trace", "")),
+        metrics_(flags.get_bool("metrics", false)) {
+    if (!trace_path_.empty()) {
+      trace::Collector::global().clear();
+      trace::set_enabled(true);
+    }
+  }
+
+  ~Observe() {
+    if (!trace_path_.empty()) {
+      trace::set_enabled(false);
+      if (trace::write_chrome_trace(trace_path_)) {
+        std::printf("\ntrace: wrote %zu track(s) to %s "
+                    "(open in Perfetto / chrome://tracing)\n",
+                    trace::Collector::global().size(), trace_path_.c_str());
+      } else {
+        std::fprintf(stderr, "trace: failed to write %s\n",
+                     trace_path_.c_str());
+      }
+    }
+    if (metrics_) {
+      std::printf("\n-- metrics registry --\n");
+      MetricsRegistry::global().dump(stdout);
+    }
+  }
+
+  Observe(const Observe&) = delete;
+  Observe& operator=(const Observe&) = delete;
+
+  bool tracing() const { return !trace_path_.empty(); }
+  bool metrics() const { return metrics_; }
+  bool active() const { return tracing() || metrics_; }
+
+ private:
+  std::string trace_path_;
+  bool metrics_;
+};
+
+}  // namespace support

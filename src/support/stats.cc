@@ -20,23 +20,87 @@ void Stats::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void Stats::merge(const Stats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  std::size_t n = n_ + other.n_;
+  double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * double(n_) * double(other.n_) / double(n);
+  mean_ += delta * double(other.n_) / double(n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  n_ = n;
+}
+
 double Stats::variance() const { return n_ > 1 ? m2_ / double(n_ - 1) : 0.0; }
 
 double Stats::stddev() const { return std::sqrt(variance()); }
 
 double Percentiles::percentile(double p) {
   if (samples_.empty()) return 0.0;
-  if (!sorted_) {
+  const std::size_t n = samples_.size();
+  if (!sorted_ && ++unsorted_queries_ > 4) {
+    // Query-heavy consumer: one full sort beats a stream of O(n) selections.
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
   }
-  if (p <= 0) return samples_.front();
-  if (p >= 100) return samples_.back();
-  double rank = p / 100.0 * double(samples_.size() - 1);
+  if (p <= 0) {
+    if (sorted_) return samples_.front();
+    return *std::min_element(samples_.begin(), samples_.end());
+  }
+  if (p >= 100) {
+    if (sorted_) return samples_.back();
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+  double rank = p / 100.0 * double(n - 1);
   std::size_t lo = std::size_t(rank);
   double frac = rank - double(lo);
-  if (lo + 1 >= samples_.size()) return samples_.back();
+  if (!sorted_) {
+    // Partial selection: O(n) per query instead of a full sort, which on
+    // the large per-worker latency series is the difference between a
+    // teardown blip and a teardown stall.
+    std::nth_element(samples_.begin(), samples_.begin() + long(lo),
+                     samples_.end());
+    double v_lo = samples_[lo];
+    if (frac == 0.0 || lo + 1 >= n) return v_lo;
+    // After nth_element everything right of lo is >= samples_[lo], so the
+    // next order statistic is the minimum of that suffix.
+    double v_hi =
+        *std::min_element(samples_.begin() + long(lo) + 1, samples_.end());
+    return v_lo * (1.0 - frac) + v_hi * frac;
+  }
+  if (lo + 1 >= n) return samples_.back();
   return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+void Percentiles::merge(const Percentiles& other) {
+  if (other.samples_.empty()) return;
+  if (&other == this) {
+    // Self-merge doubles the multiset (insert from a self-range is UB, so
+    // go through a copy); resort lazily.
+    std::vector<double> dup(samples_);
+    samples_.insert(samples_.end(), dup.begin(), dup.end());
+    sorted_ = false;
+    unsorted_queries_ = 0;
+    return;
+  }
+  if (sorted_ && other.sorted_) {
+    std::vector<double> merged;
+    merged.reserve(samples_.size() + other.samples_.size());
+    std::merge(samples_.begin(), samples_.end(), other.samples_.begin(),
+               other.samples_.end(), std::back_inserter(merged));
+    samples_ = std::move(merged);
+    return;  // still sorted
+  }
+  samples_.reserve(samples_.size() + other.samples_.size());
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+  unsorted_queries_ = 0;
 }
 
 std::string format_ns(double ns) {

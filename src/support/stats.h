@@ -12,6 +12,11 @@ class Stats {
  public:
   void add(double x);
 
+  // Folds another accumulator in (Chan et al. parallel Welford combine), so
+  // per-worker series merge into registry aggregates without re-adding
+  // sample-by-sample.
+  void merge(const Stats& other);
+
   std::size_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
   double variance() const;  // sample variance
@@ -29,17 +34,30 @@ class Stats {
   double sum_ = 0.0;
 };
 
-// Stores samples; percentile() sorts lazily.
+// Stores samples; percentile() selects lazily (partial nth_element on an
+// unsorted set, O(1) indexing once fully sorted).
 class Percentiles {
  public:
-  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+    unsorted_queries_ = 0;
+  }
+  void reserve(std::size_t n) { samples_.reserve(n); }
   // p in [0, 100]; linear interpolation between closest ranks.
   double percentile(double p);
   std::size_t count() const { return samples_.size(); }
 
+  // Absorbs another sample set in bulk (per-worker histograms combining
+  // into the registry). Keeps sortedness when both sides are sorted.
+  void merge(const Percentiles& other);
+
  private:
   std::vector<double> samples_;
   bool sorted_ = false;
+  // Partial-selection queries since the set last changed; past a small
+  // threshold a full sort amortizes better than repeated O(n) selections.
+  int unsorted_queries_ = 0;
 };
 
 // Formats like "12.3 us" / "4.56 ms" from a nanosecond quantity.

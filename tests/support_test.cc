@@ -12,6 +12,7 @@
 #include "support/rng.h"
 #include "support/sha1.h"
 #include "support/spin.h"
+#include "support/metrics.h"
 #include "support/spsc_ring.h"
 #include "support/stats.h"
 
@@ -262,6 +263,121 @@ TEST(Stats, FormatNs) {
   EXPECT_EQ(support::format_ns(2500), "2.50 us");
   EXPECT_EQ(support::format_ns(3.5e6), "3.50 ms");
   EXPECT_EQ(support::format_ns(2.25e9), "2.250 s");
+}
+
+TEST(Stats, MergeMatchesSingleStream) {
+  // Chan et al. parallel combine must agree with feeding one Stats directly.
+  support::Stats whole, left, right;
+  for (int i = 0; i < 50; ++i) {
+    double x = 3.0 * i - 20.0;
+    whole.add(x);
+    (i % 2 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.stddev(), whole.stddev(), 1e-9);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(Stats, MergeWithEmptySides) {
+  support::Stats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);  // adopt
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Stats, PercentilesPartialSelectionMatchesSortedPath) {
+  // The first few queries use nth_element partial selection; repeated
+  // queries trip a full sort. Both paths must return identical values.
+  std::vector<double> xs;
+  support::Xoshiro256 rng(11);
+  for (int i = 0; i < 999; ++i) xs.push_back(double(rng.next_below(10000)));
+  support::Percentiles sorted;
+  for (double x : xs) sorted.add(x);
+  for (int i = 0; i < 10; ++i) (void)sorted.percentile(50);  // force the sort
+  for (double q : {0.0, 10.0, 50.0, 90.0, 99.0, 100.0}) {
+    support::Percentiles fresh;  // every query hits the selection path
+    fresh.reserve(xs.size());
+    for (double x : xs) fresh.add(x);
+    EXPECT_DOUBLE_EQ(fresh.percentile(q), sorted.percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(Stats, PercentilesMerge) {
+  support::Percentiles a, b, whole;
+  for (int i = 1; i <= 60; ++i) {
+    ((i % 3 == 0) ? a : b).add(double(i));
+    whole.add(double(i));
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  for (double q : {0.0, 25.0, 50.0, 95.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile(q), whole.percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(Stats, PercentilesSelfMergeDoubles) {
+  support::Percentiles p;
+  for (int i = 1; i <= 10; ++i) p.add(double(i));
+  p.merge(p);
+  EXPECT_EQ(p.count(), 20u);
+  EXPECT_DOUBLE_EQ(p.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.percentile(100), 10.0);
+}
+
+// --- Metrics registry -------------------------------------------------------------
+
+TEST(Metrics, CounterGaugeHistogram) {
+  support::MetricsRegistry reg;
+  reg.counter("a.count").add(3);
+  reg.counter("a.count").add(4);  // same entry by name
+  reg.gauge("a.level").set(2.5);
+  auto& h = reg.histogram("a.lat");
+  for (double x : {1.0, 2.0, 3.0}) h.add(x);
+  EXPECT_EQ(reg.counter_value("a.count"), 7u);
+  EXPECT_TRUE(reg.has_counter("a.count"));
+  EXPECT_FALSE(reg.has_counter("nope"));
+  std::string text = reg.dump();
+  EXPECT_NE(text.find("a.count"), std::string::npos);
+  EXPECT_NE(text.find("a.level"), std::string::npos);
+  EXPECT_NE(text.find("a.lat"), std::string::npos);
+}
+
+TEST(Metrics, MergeAcrossRegistries) {
+  // Models per-rank registries folded into one at teardown.
+  support::MetricsRegistry r0, r1;
+  r0.counter("tasks").add(10);
+  r1.counter("tasks").add(32);
+  r1.counter("only_r1").add(5);
+  r0.gauge("watermark").set(1.0);
+  r1.gauge("watermark").set(4.0);
+  r0.histogram("lat").add(100.0);
+  r1.histogram("lat").add(300.0);
+  r0.merge(r1);
+  EXPECT_EQ(r0.counter_value("tasks"), 42u);
+  EXPECT_EQ(r0.counter_value("only_r1"), 5u);
+  EXPECT_DOUBLE_EQ(r0.gauge("watermark").value(), 4.0);  // latest wins
+  std::string text = r0.dump();
+  EXPECT_NE(text.find("count=2"), std::string::npos);
+}
+
+TEST(Metrics, CountersAreThreadSafe) {
+  support::MetricsRegistry reg;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([&reg] {
+      for (int i = 0; i < 10000; ++i) reg.counter("hits").add(1);
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(reg.counter_value("hits"), 40000u);
 }
 
 // --- Flags ------------------------------------------------------------------------
