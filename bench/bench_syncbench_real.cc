@@ -78,10 +78,14 @@ double bench_phaser(int ranks, int tasks, int iters, bool fuzzy) {
     hcmpi::Context ctx(comm, {.num_workers = tasks});
     ctx.run([&] {
       hcmpi::HcmpiPhaser ph(ctx, fuzzy);
+      std::vector<hc::Phaser::Registration*> regs;
+      for (int t = 0; t < tasks; ++t) {
+        regs.push_back(ph.register_task(hc::PhaserMode::kSignalWait));
+      }
       auto t0 = Clock::now();
       hc::finish([&] {
         for (int t = 0; t < tasks; ++t) {
-          auto* reg = ph.register_task(hc::PhaserMode::kSignalWait);
+          auto* reg = regs[std::size_t(t)];
           hc::async([&, reg] {
             for (int i = 0; i < iters; ++i) ph.next(reg);
             ph.drop(reg);
@@ -102,10 +106,12 @@ double bench_accumulator(int ranks, int tasks, int iters) {
     hcmpi::Context ctx(comm, {.num_workers = tasks});
     ctx.run([&] {
       hcmpi::HcmpiAccum<std::int64_t> acc(ctx, hc::ReduceOp::kSum);
+      std::vector<hc::Phaser::Registration*> regs;
+      for (int t = 0; t < tasks; ++t) regs.push_back(acc.register_task());
       auto t0 = Clock::now();
       hc::finish([&] {
         for (int t = 0; t < tasks; ++t) {
-          auto* reg = acc.register_task();
+          auto* reg = regs[std::size_t(t)];
           hc::async([&, reg] {
             for (int i = 0; i < iters; ++i) acc.accum_next(reg, 1);
             acc.drop(reg);

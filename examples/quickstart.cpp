@@ -71,9 +71,12 @@ void demo_hcmpi(int ranks, int workers) {
       // A task blocked in accum_next holds its worker, so spawn exactly one
       // phased task per computation worker (see README limitations).
       hcmpi::HcmpiAccum<std::int64_t> acc(ctx, hc::ReduceOp::kSum);
+      // Register every task before any of them may signal (X10 clock rule).
+      std::vector<hc::Phaser::Registration*> regs;
+      for (int t = 0; t < workers; ++t) regs.push_back(acc.register_task());
       hc::finish([&] {
         for (int t = 0; t < workers; ++t) {
-          auto* reg = acc.register_task();
+          auto* reg = regs[std::size_t(t)];
           hc::async([&acc, reg, me, t] {
             acc.accum_next(reg, me * 10 + t);
             acc.drop(reg);

@@ -45,7 +45,9 @@ void async(F&& fn) {
   Runtime& rt = detail::require_runtime();
   FinishScope* fs = detail::require_finish();
   fs->inc();
-  rt.schedule(new Task(std::forward<F>(fn), fs));
+  Task* t = new Task(std::forward<F>(fn), fs);
+  t->check_strand = check::on_spawn();
+  rt.schedule(t);
 }
 
 // Spawns fn with affinity to `place` (HPT). The task lands in the place's
@@ -55,7 +57,9 @@ void async_at(Place* place, F&& fn) {
   Runtime& rt = detail::require_runtime();
   FinishScope* fs = detail::require_finish();
   fs->inc();
-  place->push(new Task(std::forward<F>(fn), fs, place));
+  Task* t = new Task(std::forward<F>(fn), fs, place);
+  t->check_strand = check::on_spawn();
+  place->push(t);
   rt.notify_work();
 }
 

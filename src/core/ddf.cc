@@ -3,6 +3,7 @@
 namespace hc {
 
 DdfBase::~DdfBase() {
+  check::on_ddf_destroy(this);
   // Free any waiters that will never fire. Their tasks cannot run (input
   // destroyed before its put); release their finish scopes so a waiting
   // finish observes quiescence instead of hanging, and free the memory.
@@ -36,6 +37,9 @@ void DdfBase::claim(void* payload) {
 }
 
 void DdfBase::release_waiters() {
+  // Snapshot the putter's clock *before* any waiter can be released: a DDT
+  // fired below may start running (and join this clock) immediately.
+  check::on_ddf_put(this);
   WaitNode* list = head_.exchange(kReady, std::memory_order_acq_rel);
   while (list != nullptr && list != kReady) {
     WaitNode* next = list->next;
@@ -70,6 +74,7 @@ void AwaitFrame::advance() {
   // All inputs ready: release the task into the pool.
   Task* t = task;
   task = nullptr;
+  check::on_await_release(t, deps);  // join every input's put clock
   rt->schedule(t);
 }
 
@@ -79,6 +84,9 @@ void AwaitFrame::fire_once() {
                                     std::memory_order_acq_rel)) {
     Task* t = task;
     task = nullptr;
+    // OR list: only satisfied inputs have put clocks to join, and joining
+    // them can only add edges (see check.h soundness note).
+    check::on_await_release(t, deps);
     rt->schedule(t);
   }
 }

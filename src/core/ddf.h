@@ -131,6 +131,7 @@ class Ddf : public DdfBase {
   // (the paper's "program error").
   const T& get() const {
     if (!satisfied()) throw PrematureGet();
+    check::on_ddf_get(this);  // acquire the putter's happens-before history
     return *std::launder(reinterpret_cast<const T*>(storage_));
   }
 
@@ -160,6 +161,7 @@ void async_await(std::vector<DdfBase*> deps, F&& fn) {
   fs->inc();
   auto* frame = new AwaitFrame;
   frame->task = new Task(std::forward<F>(fn), fs);
+  frame->task->check_strand = check::on_spawn();
   frame->rt = &rt;
   frame->deps = std::move(deps);
   frame->is_or = false;
@@ -174,6 +176,7 @@ void async_await_any(std::vector<DdfBase*> deps, F&& fn) {
   fs->inc();
   auto* frame = new AwaitFrame;
   frame->task = new Task(std::forward<F>(fn), fs);
+  frame->task->check_strand = check::on_spawn();
   frame->rt = &rt;
   frame->deps = std::move(deps);
   frame->is_or = true;

@@ -28,6 +28,9 @@ void FinishScope::wait_and_rethrow() {
       count_.wait(c, std::memory_order_acquire);
     }
   }
+  // Finish join edge: the waiter acquires every governed task's history and
+  // the scope closes for escape detection. Runs on the exceptional exit too.
+  check::on_finish_join(this);
   if (has_exception_.load(std::memory_order_acquire) && exception_) {
     std::rethrow_exception(exception_);
   }

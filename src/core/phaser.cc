@@ -30,7 +30,7 @@ Phaser::Phaser(const Config& cfg) {
   leaves_ = frontier;
 }
 
-Phaser::~Phaser() = default;
+Phaser::~Phaser() { check::on_phaser_destroy(this); }
 
 int Phaser::registered_signalers() const {
   // Root members is the effective signaller presence; for reporting we keep
@@ -41,6 +41,14 @@ int Phaser::registered_signalers() const {
 Phaser::Registration* Phaser::register_task(PhaserMode mode,
                                             const Registration* registrar) {
   std::lock_guard<std::mutex> lk(reg_mu_);
+  if (registrar == nullptr &&
+      signalling_started_.load(std::memory_order_acquire)) {
+    // Without a registrar to anchor the join phase, this registration races
+    // with concurrent signal cascades: its cascade_expect can resurrect a
+    // root bank that already drained, double-firing that phase's boundary
+    // (observed as a null inter-node request in InterNodeBarrierHook).
+    throw check::PhaserRegistrationRace();
+  }
   auto reg = std::make_unique<Registration>();
   reg->mode = mode;
   reg->leaf_index = next_leaf_;
@@ -110,24 +118,90 @@ void Phaser::wait_phase_above(std::uint64_t phase) {
   }
 }
 
-void Phaser::next(Registration* reg) {
-  assert(reg != nullptr && !reg->dropped);
+void Phaser::signal_impl(Registration* reg) {
+  if (!signalling_started_.load(std::memory_order_relaxed)) {
+    signalling_started_.store(true, std::memory_order_release);
+  }
   std::uint64_t p = reg->sig_phase;
-  if (reg->mode != PhaserMode::kWaitOnly) {
-    wait_drift(p);
-    int bank = int(p % kBanks);
-    if (hook_ != nullptr && fuzzy_ &&
-        !early_started_[bank].exchange(true, std::memory_order_acq_rel)) {
-      // First arrival of this phase anywhere in the tree: overlap the
-      // inter-node barrier with the remaining intra-node signals.
-      hook_->early_start(p);
-    }
-    cascade_signal(bank, leaves_[std::size_t(reg->leaf_index)], p);
+  wait_drift(p);
+  int bank = int(p % kBanks);
+  if (hook_ != nullptr && fuzzy_ &&
+      !early_started_[bank].exchange(true, std::memory_order_acq_rel)) {
+    // First arrival of this phase anywhere in the tree: overlap the
+    // inter-node barrier with the remaining intra-node signals.
+    hook_->early_start(p);
   }
+  // hc-check edge: the signaller's history joins the phaser's signal clock
+  // before any waiter of this phase can be released by the cascade.
+  check::on_phaser_signal(this, p);
+  cascade_signal(bank, leaves_[std::size_t(reg->leaf_index)], p);
   reg->sig_phase = p + 1;
-  if (reg->mode != PhaserMode::kSignalOnly) {
-    wait_phase_above(p);
+}
+
+void Phaser::next(Registration* reg) {
+  assert(reg != nullptr);
+  if (reg->dropped) throw check::PhaserUseAfterDrop();
+  switch (reg->mode) {
+    case PhaserMode::kSignalWait: {
+      if (!reg->signalled) signal_impl(reg);  // a split signal() may have run
+      std::uint64_t p = reg->sig_phase - 1;
+      wait_phase_above(p);
+      check::on_phaser_wait(this, p);
+      reg->signalled = false;
+      break;
+    }
+    case PhaserMode::kSignalOnly:
+      signal_impl(reg);
+      break;
+    case PhaserMode::kWaitOnly: {
+      std::uint64_t p = reg->sig_phase;
+      reg->sig_phase = p + 1;
+      wait_phase_above(p);
+      check::on_phaser_wait(this, p);
+      break;
+    }
   }
+}
+
+void Phaser::signal(Registration* reg) {
+  assert(reg != nullptr);
+  if (reg->dropped) throw check::PhaserUseAfterDrop();
+  if (reg->mode == PhaserMode::kWaitOnly) {
+    throw check::PhaserModeViolation(
+        "hc: signal() on a WAIT_ONLY phaser registration");
+  }
+  if (reg->signalled) {
+    throw check::PhaserModeViolation(
+        "hc: double signal() without an intervening wait()");
+  }
+  signal_impl(reg);
+  // SIGNAL_ONLY signals complete immediately (there is no wait to pair
+  // with); SIGNAL_WAIT records the pending wait obligation.
+  reg->signalled = reg->mode == PhaserMode::kSignalWait;
+}
+
+void Phaser::wait(Registration* reg) {
+  assert(reg != nullptr);
+  if (reg->dropped) throw check::PhaserUseAfterDrop();
+  if (reg->mode == PhaserMode::kSignalOnly) {
+    throw check::PhaserModeViolation(
+        "hc: wait() on a SIGNAL_ONLY phaser registration");
+  }
+  std::uint64_t p;
+  if (reg->mode == PhaserMode::kSignalWait) {
+    if (!reg->signalled) {
+      throw check::PhaserModeViolation(
+          "hc: wait() before signal() on a SIGNAL_WAIT registration "
+          "(self-deadlock: the phase cannot complete without this signal)");
+    }
+    p = reg->sig_phase - 1;
+    reg->signalled = false;
+  } else {  // kWaitOnly
+    p = reg->sig_phase;
+    reg->sig_phase = p + 1;
+  }
+  wait_phase_above(p);
+  check::on_phaser_wait(this, p);
 }
 
 void Phaser::boundary(std::uint64_t p) {
@@ -171,8 +245,14 @@ void Phaser::boundary(std::uint64_t p) {
 }
 
 void Phaser::drop(Registration* reg) {
-  assert(reg != nullptr && !reg->dropped);
+  assert(reg != nullptr);
+  if (reg->dropped) throw check::PhaserUseAfterDrop();
   if (reg->mode != PhaserMode::kWaitOnly) {
+    // The owed-phase cascades below are signals: they close the phaser to
+    // further unanchored registration just like signal_impl does.
+    if (!signalling_started_.load(std::memory_order_relaxed)) {
+      signalling_started_.store(true, std::memory_order_release);
+    }
     Node* leaf = leaves_[std::size_t(reg->leaf_index)];
     std::uint64_t p = reg->sig_phase;
     std::uint64_t owed_until;  // exclusive bound of materialized banks we owe
@@ -188,6 +268,7 @@ void Phaser::drop(Registration* reg) {
       std::uint64_t v = phase_.load(std::memory_order_acquire);
       owed_until = std::min(p + 3, v + 3);
     }
+    if (p < owed_until) check::on_phaser_signal(this, p);
     for (std::uint64_t q = p; q < owed_until; ++q) {
       cascade_signal(int(q % kBanks), leaf, q);
     }

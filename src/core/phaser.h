@@ -25,6 +25,8 @@
 #include <mutex>
 #include <vector>
 
+#include "check/check.h"
+
 namespace hc {
 
 enum class PhaserMode { kSignalWait, kSignalOnly, kWaitOnly };
@@ -46,6 +48,9 @@ class Phaser {
     int leaf_index;
     std::uint64_t sig_phase;  // next phase this registration will signal/wait
     bool dropped = false;
+    // Split-phase state: signal() ran for phase sig_phase-1 but the matching
+    // wait() has not (SIGNAL_WAIT only; SIGNAL_ONLY signals never pend).
+    bool signalled = false;
   };
 
   struct Config {
@@ -65,7 +70,10 @@ class Phaser {
   // the registration (the parent spawning a phased child); pass nullptr only
   // before the phaser's first next. The child joins at the registrar's
   // current (not-yet-signalled) phase, which is what makes mid-phase
-  // registration deadlock-free (X10 clock rule).
+  // registration deadlock-free (X10 clock rule). An unanchored registration
+  // (registrar == nullptr) after signalling has begun throws
+  // check::PhaserRegistrationRace in every build: it races with in-flight
+  // signal cascades and can re-arm a phase whose boundary already fired.
   Registration* register_task(PhaserMode mode,
                               const Registration* registrar = nullptr);
 
@@ -75,6 +83,16 @@ class Phaser {
 
   // The next statement: signal (per mode), then wait (per mode).
   void next(Registration* reg);
+
+  // Split-phase operations (HJ's `signal` statement / fuzzy barrier): a
+  // SIGNAL_WAIT registration may signal early, compute past the barrier
+  // point, and wait later. Mode misuse throws check::PhaserModeViolation in
+  // every build: a WAIT_ONLY registration cannot signal(), a SIGNAL_ONLY
+  // registration cannot wait(), and wait() without a preceding signal() on a
+  // SIGNAL_WAIT registration is a guaranteed self-deadlock. Double signal()
+  // without an intervening wait() is rejected the same way.
+  void signal(Registration* reg);
+  void wait(Registration* reg);
 
   std::uint64_t phase() const {
     return phase_.load(std::memory_order_acquire);
@@ -111,11 +129,17 @@ class Phaser {
   void cascade_expect(int bank, Node* leaf);
   void boundary(std::uint64_t phase);
   void wait_phase_above(std::uint64_t phase);
+  // The signal half of next(): drift-bounded cascade for reg->sig_phase,
+  // then advances sig_phase. Caller has validated mode and drop state.
+  void signal_impl(Registration* reg);
 
   std::vector<std::unique_ptr<Node>> nodes_;  // nodes_[0] is the root
   std::vector<Node*> leaves_;
   std::atomic<std::uint64_t> phase_{0};
   std::atomic<bool> early_started_[kBanks] = {};
+  // Latched by the first signal (or signalling drop); gates unanchored
+  // registration (see register_task).
+  std::atomic<bool> signalling_started_{false};
 
   std::mutex reg_mu_;
   std::vector<std::unique_ptr<Registration>> regs_;

@@ -58,6 +58,9 @@ void Runtime::launch(std::function<void()> root) {
   FinishScope scope(*this, nullptr);
   scope.inc();
   Task* t = new Task(std::move(root), &scope);
+  // Spawn edge from the launching thread, so pre-launch initialization
+  // happens-before everything the root task does.
+  t->check_strand = check::on_spawn();
   inject(t);
   Runtime* prev_rt = tl_runtime;
   tl_runtime = this;

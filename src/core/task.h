@@ -14,6 +14,8 @@
 #include <exception>
 #include <functional>
 
+#include "check/check.h"
+
 namespace hc {
 
 class Runtime;
@@ -24,6 +26,8 @@ struct Task {
   std::function<void()> fn;
   FinishScope* finish = nullptr;
   Place* place = nullptr;
+  // hc-check strand id (0 = unassigned); dead weight unless HCMPI_CHECK.
+  std::uint32_t check_strand = 0;
 
   Task() = default;
   Task(std::function<void()> f, FinishScope* fs, Place* p = nullptr)
@@ -33,13 +37,19 @@ struct Task {
 class FinishScope {
  public:
   explicit FinishScope(Runtime& rt, FinishScope* parent = nullptr)
-      : rt_(rt), parent_(parent) {}
+      : rt_(rt), parent_(parent) {
+    check::on_finish_begin(this);
+  }
 
   FinishScope(const FinishScope&) = delete;
   FinishScope& operator=(const FinishScope&) = delete;
 
-  // Registers one more task governed by this scope.
-  void inc() { count_.fetch_add(1, std::memory_order_relaxed); }
+  // Registers one more task governed by this scope. A checked build rejects
+  // registration on a scope that already drained (finish-scope escape).
+  void inc() {
+    check::on_scope_inc(this);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   // A governed task finished. Wakes external waiters when the scope drains.
   void dec() {

@@ -76,6 +76,7 @@ Task* Worker::try_get_task() {
 void Worker::run_task(Task* t) {
   FinishScope* prev = Runtime::current_finish();
   Runtime::set_current_finish(t->finish);
+  std::uint32_t prev_strand = check::on_task_begin(t->check_strand);
   try {
     t->fn();
   } catch (...) {
@@ -83,6 +84,9 @@ void Worker::run_task(Task* t) {
       t->finish->capture_exception(std::current_exception());
     }
   }
+  // Merge this task's history into its finish scope before dec() can release
+  // the waiter, then restore the helper's own strand (help-first nesting).
+  check::on_task_end(t->finish, prev_strand);
   Runtime::set_current_finish(prev);
   if (t->finish != nullptr) t->finish->dec();
   delete t;

@@ -61,6 +61,15 @@ void AmTransport::progress_loop(std::stop_token) {
       continue;
     }
     backoff.reset();
+    if ((msg.kind == AmBus::Msg::Kind::kRegister ||
+         msg.kind == AmBus::Msg::Kind::kData) &&
+        !handlers_bound()) {
+      // A remote rank can outrun this rank's Space construction: its first
+      // REGISTER may land in the window between this thread starting (the
+      // transport's constructor) and Space::bind() publishing the handlers.
+      support::Backoff bind_wait;
+      while (!handlers_bound()) bind_wait.pause();
+    }
     switch (msg.kind) {
       case AmBus::Msg::Kind::kRegister:
         on_register_(msg.guid, msg.a);

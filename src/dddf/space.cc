@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "check/check.h"
 #include "core/runtime.h"
 #include "dddf/mpi_transport.h"
 #include "support/metrics.h"
@@ -58,6 +59,12 @@ hc::DdfBase* Space::request(Guid guid) {
   int home = cfg_.home(guid);
   if (home != rank() &&
       !e->fetch_requested.exchange(true, std::memory_order_acq_rel)) {
+    if (hc::check::enabled() &&
+        finalized_.load(std::memory_order_acquire)) {
+      throw hc::check::CheckError(
+          "hc-check: new remote DDDF await after Space::finalize() — the "
+          "termination detector has already declared quiescence");
+    }
     // First consumer on this rank: register intent with the home rank
     // (paper: "the runtime sends the home location a message to register
     // its intent on receiving the put data").
@@ -71,6 +78,11 @@ hc::DdfBase* Space::request(Guid guid) {
 void Space::put(Guid guid, Bytes data) {
   if (!is_home(guid)) {
     throw std::logic_error("dddf: DDF_PUT must run on the guid's home rank");
+  }
+  if (hc::check::enabled() && finalized_.load(std::memory_order_acquire)) {
+    throw hc::check::CheckError(
+        "hc-check: DDDF put after Space::finalize() — remote consumers can "
+        "no longer be served");
   }
   Entry* e = ensure(guid);
   e->ddf.put(std::move(data));  // releases local DDTs
@@ -110,6 +122,7 @@ void Space::on_data(Guid guid, Bytes payload) {
 }
 
 void Space::finalize() {
+  finalized_.store(true, std::memory_order_release);
   // When every rank has reached finalize, every await was satisfied, hence
   // every registration was served and no protocol message is in flight: a
   // single system-wide barrier *whose progress engine keeps the listener

@@ -103,7 +103,10 @@ class Space {
 
   // Global termination (paper §III-B): every rank calls finalize after its
   // computation finish completes; listeners keep serving stragglers until
-  // the system is quiescent.
+  // the system is quiescent. In a checked build (-DHCMPI_CHECK=ON), put()
+  // or a new remote await after finalize() throws hc::check::CheckError:
+  // protocol traffic behind the termination detector's back deadlocks or
+  // drops data at scale even when a small run happens to survive it.
   void finalize();
 
   // Introspection for tests.
@@ -133,6 +136,7 @@ class Space {
 
   std::mutex mu_;
   std::unordered_map<Guid, std::unique_ptr<Entry>> entries_;
+  std::atomic<bool> finalized_{false};
 
   // Progress-context-only state (no lock needed).
   std::unordered_map<Guid, std::vector<int>> pending_;  // waiting requesters

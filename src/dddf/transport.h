@@ -12,6 +12,7 @@
 //     with its own progress thread per rank; no MPI anywhere.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -33,10 +34,14 @@ class Transport {
   int rank() const { return rank_; }
   int size() const { return size_; }
 
-  // Installed once by Space before any traffic.
+  // Installed once by Space before this rank issues any traffic. A *remote*
+  // rank may still race ahead of local Space construction, so progress
+  // engines that start before bind() (AmTransport's dedicated thread) must
+  // check handlers_bound() before dispatching protocol messages.
   void bind(RegisterHandler on_register, DataHandler on_data) {
     on_register_ = std::move(on_register);
     on_data_ = std::move(on_data);
+    bound_.store(true, std::memory_order_release);
   }
 
   // May be called from any thread.
@@ -53,10 +58,15 @@ class Transport {
  protected:
   Transport(int rank, int size) : rank_(rank), size_(size) {}
 
+  bool handlers_bound() const {
+    return bound_.load(std::memory_order_acquire);
+  }
+
   RegisterHandler on_register_;
   DataHandler on_data_;
 
  private:
+  std::atomic<bool> bound_{false};
   int rank_;
   int size_;
 };

@@ -8,6 +8,9 @@ namespace hcmpi {
 void Context::run_blocking_collective(CommKind kind, const void* in,
                                       void* out, std::size_t count_or_bytes,
                                       Datatype t, Op op, int root) {
+  // A blocking collective issued on the communication worker would block
+  // the only thread able to execute it.
+  hc::check::on_blocking_call("blocking collective");
   auto req = std::make_shared<RequestImpl>();
   CommTask* task = allocate_task();
   task->kind = kind;

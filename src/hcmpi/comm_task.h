@@ -13,10 +13,12 @@
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
 
+#include "check/check.h"
 #include "core/ddf.h"
 #include "smpi/comm.h"
 
@@ -55,6 +57,26 @@ enum class CommTaskState : std::uint8_t {
   kCompleted,
   kAvailable,
 };
+
+// The Fig. 10/11 lattice, with two sanctioned shortcuts: command tasks
+// (cancel, shutdown) retire PRESCRIBED -> AVAILABLE without ever becoming
+// ACTIVE, and recycling reopens AVAILABLE -> ALLOCATED.
+constexpr bool valid_transition(CommTaskState from, CommTaskState to) {
+  switch (to) {
+    case CommTaskState::kAllocated:
+      return from == CommTaskState::kAvailable;
+    case CommTaskState::kPrescribed:
+      return from == CommTaskState::kAllocated;
+    case CommTaskState::kActive:
+      return from == CommTaskState::kPrescribed;
+    case CommTaskState::kCompleted:
+      return from == CommTaskState::kActive;
+    case CommTaskState::kAvailable:
+      return from == CommTaskState::kCompleted ||
+             from == CommTaskState::kPrescribed;
+  }
+  return false;
+}
 
 // An HCMPI request is a DDF of Status ("An important property of an
 // HCMPI_Request object is that it can also be provided wherever an HC DDF is
@@ -126,5 +148,26 @@ struct CommTask {
   // implementation detail of the communication worker.
   std::unique_ptr<NbScript, NbScriptDeleter> script;
 };
+
+// The single sanctioned way to move a communication task through its
+// lifecycle: validates the edge against the Fig. 10/11 lattice. A checked
+// build throws check::CommTaskStateViolation; an unchecked Debug build
+// asserts; Release publishes with the same ordering as the raw store it
+// replaces. Returns the prior state.
+inline CommTaskState transition(CommTask& t, CommTaskState to,
+                                std::memory_order order =
+                                    std::memory_order_release) {
+  CommTaskState from = t.state.exchange(
+      to, order == std::memory_order_relaxed ? std::memory_order_relaxed
+                                             : std::memory_order_acq_rel);
+  if (!valid_transition(from, to)) {
+#if HCMPI_CHECK
+    throw hc::check::CommTaskStateViolation(int(from), int(to));
+#else
+    assert(false && "hcmpi: CommTaskState transition outside the lattice");
+#endif
+  }
+  return from;
+}
 
 }  // namespace hcmpi

@@ -167,6 +167,9 @@ RequestHandle Context::submit_nb_allreduce(const void* in, void* out,
 void Context::comm_worker_main() {
   hc::Worker* self = runtime_->register_producer();
   self->set_trace_name("comm-worker");
+  // hc-check: flags this thread so blocking HCMPI calls issued from comm
+  // tasks (kExec closures, pollers) are rejected as guaranteed deadlocks.
+  hc::check::enter_comm_worker();
 
   std::vector<CommTask*> active;        // ACTIVE irecvs being polled
   std::deque<CommTask*> coll_queue;     // FIFO of collectives
@@ -187,7 +190,7 @@ void Context::comm_worker_main() {
       self->trace_ring().record(support::trace::Ev::kCommActive, t->slot_id,
                                 t->gen.load(std::memory_order_relaxed));
     }
-    t->state.store(CommTaskState::kActive, std::memory_order_release);
+    transition(*t, CommTaskState::kActive);
   };
 
   for (;;) {
@@ -198,6 +201,10 @@ void Context::comm_worker_main() {
     CommTask* t = nullptr;
     while (worklist_.pop(t)) {
       progress = true;
+      // hc-check submit -> receive edge: from here on, everything this
+      // worker does (including the completion put) is ordered after the
+      // submitter's history.
+      hc::check::on_comm_receive(t);
       switch (t->kind) {
         case CommKind::kShutdown:
           shutting_down = true;

@@ -58,7 +58,7 @@ CommTask* Context::allocate_task() {
     if (!pool_.empty()) {
       t = pool_.back();
       pool_.pop_back();
-      t->state.store(CommTaskState::kAllocated, std::memory_order_relaxed);
+      transition(*t, CommTaskState::kAllocated, std::memory_order_relaxed);
       recycled_.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -96,7 +96,7 @@ void Context::release_task(CommTask* t) {
     }
   }
   t->gen.fetch_add(1, std::memory_order_acq_rel);
-  t->state.store(CommTaskState::kAvailable, std::memory_order_release);
+  transition(*t, CommTaskState::kAvailable);
   std::lock_guard<support::SpinLock> lk(pool_mu_);
   pool_.push_back(t);
 }
@@ -116,7 +116,10 @@ void Context::submit(CommTask* t) {
                    t->gen.load(std::memory_order_relaxed));
     }
   }
-  t->state.store(CommTaskState::kPrescribed, std::memory_order_release);
+  transition(*t, CommTaskState::kPrescribed);
+  // hc-check submit edge: the submitter's history travels with the task to
+  // the communication worker (and from there into the request's put).
+  hc::check::on_comm_submit(t);
   worklist_.push(t);
 }
 
@@ -156,7 +159,7 @@ void Context::complete_task(CommTask* t, const Status& st) {
       lifecycle_latency_ns_.add(double(t->ts_completed - t->ts_prescribed));
     }
   }
-  t->state.store(CommTaskState::kCompleted, std::memory_order_release);
+  transition(*t, CommTaskState::kCompleted);
   RequestHandle req = t->request;
   hc::FinishScope* fs = t->finish;
   if (req) {
@@ -168,7 +171,12 @@ void Context::complete_task(CommTask* t, const Status& st) {
   // Putting the status releases DDTs awaiting this request and wakes
   // help-waiters; do it after release so the slot is reusable immediately.
   if (req) req->put(st);
-  if (fs != nullptr) fs->dec();
+  if (fs != nullptr) {
+    // hc-check: the communication's history joins the enclosing finish
+    // before the waiter can observe the scope drained.
+    hc::check::on_scope_release(fs);
+    fs->dec();
+  }
 }
 
 void Context::block_until(const RequestHandle& r) {
@@ -177,6 +185,9 @@ void Context::block_until(const RequestHandle& r) {
 }
 
 void Context::help_wait_satisfied(const hc::DdfBase& ddf) {
+  // The communication worker must never block on a request: it is the only
+  // thread that can complete one, so this is a guaranteed deadlock at scale.
+  hc::check::on_blocking_call("wait on a request");
   hc::Worker* w = hc::Runtime::current_worker();
   if (w != nullptr && w->is_computation() &&
       hc::Runtime::current_runtime() == runtime_.get()) {
@@ -280,6 +291,7 @@ void Context::waitall(const std::vector<RequestHandle>& rs) {
 
 int Context::waitany(const std::vector<RequestHandle>& rs, Status* st) {
   // An OR await list (paper §III, Fig. 12).
+  hc::check::on_blocking_call("waitany");
   if (rs.empty()) return -1;
   hc::Worker* w = hc::Runtime::current_worker();
   support::Backoff backoff;

@@ -71,6 +71,8 @@ const char* ev_name(Ev e) {
     case Ev::kDddfGetIssued: return "dddf_get_issued";
     case Ev::kDddfServed: return "dddf_served";
     case Ev::kDddfData: return "dddf_data";
+    case Ev::kCheckRace: return "check_race";
+    case Ev::kCheckViolation: return "check_violation";
   }
   return "?";
 }
@@ -263,6 +265,8 @@ std::string chrome_trace_json() {
         case Ev::kDddfGetIssued:
         case Ev::kDddfServed:
         case Ev::kDddfData:
+        case Ev::kCheckRace:
+        case Ev::kCheckViolation:
           sep();
           append(out,
                  "{\"ph\":\"i\",\"name\":\"%s\",\"cat\":\"worker\",\"s\":\"t\","

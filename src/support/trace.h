@@ -54,6 +54,11 @@ enum class Ev : std::uint8_t {
   kDddfGetIssued,  // first local consumer registered intent with the home
   kDddfServed,     // home rank served a registration
   kDddfData,       // payload arrived at a remote rank
+
+  // hc-check diagnostics (src/check/): emitted on the flagging worker's
+  // ring so a witness cross-references against the surrounding task spans.
+  kCheckRace,       // a = other strand id of the witness, b = address
+  kCheckViolation,  // a = violation class (misuse analyzer)
 };
 
 // What an Ev means for the exporter.

@@ -1,3 +1,4 @@
+#include <array>
 #include <atomic>
 #include <numeric>
 #include <vector>
@@ -273,15 +274,28 @@ TEST_P(HcmpiPhaserModes, PhaserBarrierAcrossRanksAndTasks) {
   std::atomic<bool> violated{false};
   run_hcmpi(ranks, tasks + 1, [&](hcmpi::Context& ctx) {
     hcmpi::HcmpiPhaser ph(ctx, fuzzy);
+    // All registrations happen before any task can signal: an unanchored
+    // register_task racing a live signal cascade is rejected (and unsound —
+    // see check::PhaserRegistrationRace).
+    std::array<hc::Phaser::Registration*, tasks> regs;
+    for (int t = 0; t < tasks; ++t) {
+      regs[std::size_t(t)] = ph.register_task(hc::PhaserMode::kSignalWait);
+    }
     hc::finish([&] {
       for (int t = 0; t < tasks; ++t) {
-        auto* reg = ph.register_task(hc::PhaserMode::kSignalWait);
+        auto* reg = regs[std::size_t(t)];
         hc::async([&, reg] {
           for (int phase = 1; phase <= 4; ++phase) {
             arrivals.fetch_add(1);
             ph.next(reg);
-            // Global barrier property: every task on every rank arrived.
-            if (arrivals.load() < phase * ranks * tasks) violated.store(true);
+            // Strict: the inter-node barrier starts only after every local
+            // signal, so release implies every task on every rank arrived.
+            // Fuzzy: the first local arrival starts the inter-node barrier
+            // (overlap is the point), so release only implies every rank
+            // finished the previous phase and started this one.
+            int required = fuzzy ? (phase - 1) * ranks * tasks + ranks
+                                 : phase * ranks * tasks;
+            if (arrivals.load() < required) violated.store(true);
           }
           ph.drop(reg);
         });
@@ -299,9 +313,11 @@ TEST(Hcmpi, AccumulatorGlobalSum) {
   run_hcmpi(ranks, tasks + 1, [&](hcmpi::Context& ctx) {
     hcmpi::HcmpiAccum<std::int64_t> acc(ctx, hc::ReduceOp::kSum);
     std::atomic<bool> ok{true};
+    std::array<hc::Phaser::Registration*, tasks> regs;
+    for (int t = 0; t < tasks; ++t) regs[std::size_t(t)] = acc.register_task();
     hc::finish([&] {
       for (int t = 0; t < tasks; ++t) {
-        auto* reg = acc.register_task();
+        auto* reg = regs[std::size_t(t)];
         hc::async([&, reg] {
           // Every task everywhere contributes 5: global sum = 5 * 6.
           acc.accum_next(reg, 5);
