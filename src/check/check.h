@@ -22,7 +22,7 @@
 // strands (those that annotated at least one access), so un-annotated
 // programs pay a near-constant bookkeeping cost per runtime event.
 //
-// Scope and soundness (see DESIGN.md §6): the checker sees the edges the
+// Scope and soundness (see DESIGN.md §5c): the checker sees the edges the
 // runtime creates, nothing more. It checks one rank at a time (DDDF edges
 // from remote puts appear as local transport-put edges); OR-await joins all
 // satisfied inputs and phaser waits join the phaser's cumulative signal

@@ -19,6 +19,7 @@ thread_local Runtime* tl_runtime = nullptr;
 void bind_worker_thread(Runtime* rt, Worker* w) {
   tl_worker = w;
   tl_runtime = rt;
+  support::trace::set_thread_ring(&w->trace_ring());
 }
 
 Worker* Runtime::current_worker() { return tl_worker; }
@@ -79,6 +80,7 @@ Worker* Runtime::register_producer() {
   producer_count_.store(n + 1, std::memory_order_release);
   tl_worker = w;
   tl_runtime = this;
+  support::trace::set_thread_ring(&w->trace_ring());
   return w;
 }
 

@@ -1,13 +1,33 @@
 #include "dddf/am_transport.h"
 
+#include "fault/fault.h"
+#include "support/metrics.h"
 #include "support/spin.h"
 
 namespace dddf {
+
+namespace {
+// Retransmission timer: capped exponential, deliberately coarser than the
+// smpi wire's sender-side backoff so acks get a chance to drain first.
+constexpr auto kRtoBase = std::chrono::microseconds(200);
+constexpr auto kRtoCap = std::chrono::milliseconds(3);
+
+std::chrono::steady_clock::duration rto_after(std::uint32_t attempts) {
+  auto d = kRtoBase * (1u << (attempts < 4 ? attempts : 4));
+  return d < kRtoCap ? std::chrono::steady_clock::duration(d)
+                     : std::chrono::steady_clock::duration(kRtoCap);
+}
+}  // namespace
 
 AmBus::AmBus(int nranks) {
   mailboxes_.reserve(std::size_t(nranks));
   for (int i = 0; i < nranks; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  for (int parity = 0; parity < 2; ++parity) {
+    auto flags = std::make_unique<std::atomic<bool>[]>(std::size_t(nranks));
+    for (int i = 0; i < nranks; ++i) flags[std::size_t(i)].store(false);
+    barrier_flags_.push_back(std::move(flags));
   }
 }
 
@@ -27,12 +47,42 @@ void AmTransport::deliver(int to, AmBus::Msg msg) {
   bus_->mailboxes_[std::size_t(to)]->queue.push(std::move(msg));
 }
 
+void AmTransport::transmit(int to, const AmBus::Msg& msg) {
+  if (fault::rank_dead(rank()) || fault::rank_dead(to)) return;  // blackhole
+  fault::Decision d = fault::decide(rank(), to);
+  if (d.delay_us != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(d.delay_us));
+  }
+  if (d.drop) return;  // the RTO scan retransmits
+  if (d.dup) deliver(to, AmBus::Msg(msg));
+  deliver(to, AmBus::Msg(msg));
+}
+
+void AmTransport::send_protocol(int to, AmBus::Msg msg) {
+  if (!fault::enabled()) {
+    deliver(to, std::move(msg));
+    return;
+  }
+  msg.reliable = true;
+  msg.src = rank();
+  msg.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<support::SpinLock> lk(unacked_mu_);
+    auto& u = unacked_[msg.seq];
+    u.to = to;
+    u.msg = msg;  // keep a retransmission copy until the ack lands
+    u.attempts = 0;
+    u.next_rto = Clock::now() + rto_after(0);
+  }
+  transmit(to, msg);
+}
+
 void AmTransport::send_register(Guid guid, int home) {
   AmBus::Msg m;
   m.kind = AmBus::Msg::Kind::kRegister;
   m.guid = guid;
   m.a = rank();
-  deliver(home, std::move(m));
+  send_protocol(home, std::move(m));
 }
 
 void AmTransport::send_data(Guid guid, int to, Bytes payload) {
@@ -40,7 +90,7 @@ void AmTransport::send_data(Guid guid, int to, Bytes payload) {
   m.kind = AmBus::Msg::Kind::kData;
   m.guid = guid;
   m.payload = std::move(payload);
-  deliver(to, std::move(m));
+  send_protocol(to, std::move(m));
   data_sent_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -51,16 +101,57 @@ void AmTransport::post(std::function<void()> fn) {
   deliver(rank(), std::move(m));
 }
 
+void AmTransport::retransmit_expired() {
+  auto now = Clock::now();
+  // Collect expired copies under the lock, transmit (which may sleep on an
+  // injected delay) outside it.
+  std::vector<std::pair<int, AmBus::Msg>> due;
+  {
+    std::lock_guard<support::SpinLock> lk(unacked_mu_);
+    for (auto& [seq, u] : unacked_) {
+      if (now < u.next_rto) continue;
+      ++u.attempts;
+      u.next_rto = now + rto_after(u.attempts);
+      due.emplace_back(u.to, u.msg);
+    }
+  }
+  if (due.empty()) return;
+  auto& reg = support::MetricsRegistry::global();
+  for (auto& [to, msg] : due) {
+    reg.counter("retry.count").add();
+    transmit(to, msg);
+  }
+}
+
 void AmTransport::progress_loop(std::stop_token) {
   auto& mailbox = *bus_->mailboxes_[std::size_t(rank())];
   support::Backoff backoff;
   for (;;) {
     AmBus::Msg msg;
     if (!mailbox.queue.pop(msg)) {
+      if (fault::enabled()) retransmit_expired();
       backoff.pause();
       continue;
     }
     backoff.reset();
+    if (msg.kind == AmBus::Msg::Kind::kAck) {
+      std::lock_guard<support::SpinLock> lk(unacked_mu_);
+      unacked_.erase(msg.seq);
+      continue;
+    }
+    if (msg.reliable) {
+      // Ack every delivery (a lost ack means the sender retransmits and we
+      // ack again), dispatch only the first (at-most-once above the wire).
+      AmBus::Msg ack;
+      ack.kind = AmBus::Msg::Kind::kAck;
+      ack.seq = msg.seq;
+      if (!fault::rank_dead(rank()) && !fault::rank_dead(msg.src)) {
+        fault::Decision d =
+            fault::decide(rank(), msg.src, fault::kAckLane);
+        if (!d.drop) deliver(msg.src, std::move(ack));
+      }
+      if (!seen_.emplace(msg.src, msg.seq).second) continue;  // duplicate
+    }
     if ((msg.kind == AmBus::Msg::Kind::kRegister ||
          msg.kind == AmBus::Msg::Kind::kData) &&
         !handlers_bound()) {
@@ -82,25 +173,59 @@ void AmTransport::progress_loop(std::stop_token) {
         break;
       case AmBus::Msg::Kind::kStop:
         return;
+      case AmBus::Msg::Kind::kAck:
+        break;  // handled above
     }
   }
 }
 
-void AmTransport::finalize_barrier() {
+void AmTransport::finalize_barrier(std::uint64_t timeout_ms) {
+  if (timeout_ms == 0) timeout_ms = fault::finalize_timeout_ms();
   // Sense-reversing barrier between *computation* threads; the progress
   // threads are untouched and keep serving stragglers throughout.
   std::uint64_t gen = bus_->barrier_generation_.load(std::memory_order_acquire);
+  auto* flags = bus_->barrier_flags_[std::size_t(gen & 1)].get();
+  flags[std::size_t(rank())].store(true, std::memory_order_release);
   if (bus_->barrier_arrived_.fetch_add(1, std::memory_order_acq_rel) ==
       size() - 1) {
     bus_->barrier_arrived_.store(0, std::memory_order_relaxed);
+    // Prepare the next generation's parity before releasing anyone: its
+    // flags belong to generation gen-1, whose waiters all arrived (and set
+    // them) strictly before this generation could complete.
+    auto* next = bus_->barrier_flags_[std::size_t((gen + 1) & 1)].get();
+    for (int r = 0; r < size(); ++r) {
+      next[std::size_t(r)].store(false, std::memory_order_relaxed);
+    }
     bus_->barrier_generation_.fetch_add(1, std::memory_order_acq_rel);
     bus_->barrier_generation_.notify_all();
-  } else {
+    return;
+  }
+  if (timeout_ms == 0) {
     std::uint64_t v;
     while ((v = bus_->barrier_generation_.load(std::memory_order_acquire)) ==
            gen) {
       bus_->barrier_generation_.wait(v, std::memory_order_acquire);
     }
+    return;
+  }
+  auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (bus_->barrier_generation_.load(std::memory_order_acquire) == gen) {
+    if (Clock::now() >= deadline) {
+      // Re-check after reading the flags: a release racing the deadline
+      // would otherwise fabricate a missing list.
+      std::vector<int> missing;
+      for (int r = 0; r < size(); ++r) {
+        if (!flags[std::size_t(r)].load(std::memory_order_acquire)) {
+          missing.push_back(r);
+        }
+      }
+      if (bus_->barrier_generation_.load(std::memory_order_acquire) != gen) {
+        return;  // released while we were collecting
+      }
+      if (!missing.empty()) throw BarrierTimeout(rank(), std::move(missing));
+      // Everyone arrived; the releaser is mid-flight — keep waiting.
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
 }
 

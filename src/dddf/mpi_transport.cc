@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "fault/fault.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
@@ -12,6 +13,9 @@ namespace {
 // scripts use tags < 100, so the DDDF protocol lives at 1000+.
 constexpr int kTagRegister = 1000;
 constexpr int kTagData = 1001;
+// Barrier-arrival announcement: lets a deadlined finalize_barrier name the
+// ranks that never reached finalize instead of hanging forever.
+constexpr int kTagArrive = 1002;
 
 struct RegisterMsg {
   Guid guid;
@@ -21,10 +25,17 @@ struct RegisterMsg {
 
 MpiTransport::MpiTransport(hcmpi::Context& ctx) :
     Transport(ctx.rank(), ctx.size()), ctx_(ctx) {
+  arrived_ = std::make_unique<std::atomic<bool>[]>(std::size_t(ctx.size()));
+  for (int r = 0; r < ctx.size(); ++r) {
+    arrived_[std::size_t(r)].store(false, std::memory_order_relaxed);
+  }
   ctx_.set_poller([this](smpi::Comm& comm) { return poll(comm); });
 }
 
 MpiTransport::~MpiTransport() {
+  // Handshake the poller out of the communication worker before this
+  // object's state (and the Space handlers it dispatches into) goes away.
+  ctx_.clear_poller();
   auto& reg = support::MetricsRegistry::global();
   reg.counter("dddf.bytes_sent").add(bytes_sent_);
   reg.counter("dddf.bytes_received").add(bytes_received_);
@@ -56,14 +67,51 @@ void MpiTransport::post(std::function<void()> fn) {
   ctx_.post_exec([fn = std::move(fn)](smpi::Comm&) { fn(); });
 }
 
-void MpiTransport::finalize_barrier() {
+void MpiTransport::finalize_barrier(std::uint64_t timeout_ms) {
+  if (timeout_ms == 0) timeout_ms = fault::finalize_timeout_ms();
+  if (timeout_ms != 0) {
+    // Announce arrival out-of-band before joining the barrier proper. The
+    // broadcast only happens on the deadlined path, so the common
+    // wait-forever configuration pays nothing extra.
+    int me = rank();
+    arrived_[std::size_t(me)].store(true, std::memory_order_release);
+    for (int r = 0; r < size(); ++r) {
+      if (r == me) continue;
+      ctx_.post_exec([me, r](smpi::Comm& comm) {
+        comm.send(&me, sizeof me, r, kTagArrive);
+      });
+    }
+  }
   // The hcmpi non-blocking barrier progresses on the communication worker
   // loop, which also drives poll() — the listener keeps serving stragglers.
   hcmpi::RequestHandle req = ctx_.submit_nb_barrier();
-  hcmpi::Context::block_until(req);
+  if (timeout_ms == 0) {
+    hcmpi::Context::block_until(req);
+    return;
+  }
+  if (hcmpi::Context::block_until_deadline(req, timeout_ms)) return;
+  // Deadline expired: pull this rank out of the stuck collective so the
+  // communication worker can still shut down cleanly, then name the ranks
+  // whose ARRIVE never landed.
+  if (!ctx_.cancel(req)) return;  // completed at the wire — we lost the race
+  std::vector<int> missing;
+  for (int r = 0; r < size(); ++r) {
+    if (!arrived_[std::size_t(r)].load(std::memory_order_acquire)) {
+      missing.push_back(r);
+    }
+  }
+  // missing may be empty: everyone announced arrival but the barrier script
+  // itself stalled (e.g. step traffic lost past the retry budget). Still a
+  // timeout — the message then names no ranks rather than fabricating some.
+  throw BarrierTimeout(rank(), std::move(missing));
 }
 
 bool MpiTransport::poll(smpi::Comm& comm) {
+  // A remote rank's Space can race ahead of local Space construction: the
+  // constructor arms the poller, but the protocol handlers are installed by
+  // Space::bind() afterwards. Until that release-store lands, leave traffic
+  // queued in smpi rather than dispatching into half-assigned handlers.
+  if (!handlers_bound()) return false;
   bool progress = false;
   smpi::Status st;
   while (comm.iprobe(smpi::kAnySource, kTagRegister, &st)) {
@@ -72,6 +120,14 @@ bool MpiTransport::poll(smpi::Comm& comm) {
     ++regs_received_;
     progress = true;
     on_register_(msg.guid, msg.requester);
+  }
+  while (comm.iprobe(smpi::kAnySource, kTagArrive, &st)) {
+    int peer = -1;
+    comm.recv(&peer, sizeof peer, st.source, kTagArrive);
+    progress = true;
+    if (peer >= 0 && peer < size()) {
+      arrived_[std::size_t(peer)].store(true, std::memory_order_release);
+    }
   }
   while (comm.iprobe(smpi::kAnySource, kTagData, &st)) {
     Bytes wire(st.count_bytes);

@@ -3,6 +3,7 @@
 // is the communication worker's poller slot.
 #pragma once
 
+#include <atomic>
 #include <memory>
 
 #include "dddf/transport.h"
@@ -18,7 +19,7 @@ class MpiTransport : public Transport {
   void send_register(Guid guid, int home) override;
   void send_data(Guid guid, int to, Bytes payload) override;
   void post(std::function<void()> fn) override;
-  void finalize_barrier() override;
+  void finalize_barrier(std::uint64_t timeout_ms = 0) override;
 
   // Introspection used by tests.
   std::uint64_t data_messages_sent() const { return data_sent_; }
@@ -34,6 +35,11 @@ class MpiTransport : public Transport {
   std::uint64_t bytes_sent_ = 0;       // payload bytes in those messages
   std::uint64_t regs_received_ = 0;    // progress-context only
   std::uint64_t bytes_received_ = 0;   // progress-context only
+
+  // Barrier-arrival flags (one-shot; finalize happens once per Space): set
+  // by poll() when a peer's ARRIVE lands, read by a deadlined
+  // finalize_barrier to name the ranks that never made it.
+  std::unique_ptr<std::atomic<bool>[]> arrived_;
 };
 
 }  // namespace dddf

@@ -5,6 +5,7 @@
 #include "check/check.h"
 #include "core/runtime.h"
 #include "dddf/mpi_transport.h"
+#include "fault/fault.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
@@ -31,15 +32,41 @@ Space::Space(std::unique_ptr<Transport> transport, SpaceConfig cfg)
   transport_->bind(
       [this](Guid g, int requester) { on_register(g, requester); },
       [this](Guid g, Bytes payload) { on_data(g, std::move(payload)); });
+  // Contribute protocol state to the stall watchdog's dump: which side of
+  // the REGISTER/DATA handshake this rank is stuck on is usually the whole
+  // diagnosis. Reads only atomics — safe from the watchdog's thread.
+  diag_id_ = fault::register_diagnostic(
+      "dddf.space", [this](std::FILE* f) {
+        std::uint64_t entries;
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          entries = entries_.size();
+        }
+        std::fprintf(
+            f,
+            "  dddf.space rank=%d entries=%llu pending_guids=%llu "
+            "served_pairs=%llu gets_issued=%llu finalized=%d\n",
+            rank(), (unsigned long long)entries,
+            (unsigned long long)pending_guids_.load(std::memory_order_relaxed),
+            (unsigned long long)served_pairs_.load(std::memory_order_relaxed),
+            (unsigned long long)gets_issued_.load(std::memory_order_relaxed),
+            int(finalized_.load(std::memory_order_relaxed)));
+      });
 }
 
 Space::~Space() {
+  fault::unregister_diagnostic(diag_id_);
   // Fold this rank's protocol counters into the process-wide registry
   // before the transport (and its progress context) goes away.
   auto& reg = support::MetricsRegistry::global();
   reg.counter("dddf.remote_gets_issued").add(remote_gets_issued());
-  reg.counter("dddf.registrations_received").add(regs_received_);
-  reg.counter("dddf.data_messages_sent").add(data_sent_);
+  reg.counter("dddf.registrations_received").add(registrations_received());
+  reg.counter("dddf.data_messages_sent").add(data_messages_sent());
+  // Stop the transport's progress engine *before* the implicit member
+  // destruction reaches the protocol tables it dispatches into: a queued
+  // put-flush closure or a late retransmitted REGISTER must drain while
+  // `pending_`/`served_`/`entries_` are still alive.
+  transport_.reset();
 }
 
 Space::Entry* Space::ensure(Guid guid) {
@@ -95,6 +122,7 @@ void Space::put(Guid guid, Bytes data) {
     if (it == pending_.end()) return;
     for (int requester : it->second) serve(guid, e, requester);
     pending_.erase(it);
+    pending_guids_.store(pending_.size(), std::memory_order_relaxed);
   });
 }
 
@@ -102,18 +130,20 @@ const Bytes& Space::get(Guid guid) { return ensure(guid)->ddf.get(); }
 
 void Space::serve(Guid guid, Entry* e, int requester) {
   if (!served_[guid].insert(requester).second) return;  // at-most-once
+  served_pairs_.fetch_add(1, std::memory_order_relaxed);
   record_event(support::trace::Ev::kDddfServed, guid, e->ddf.get().size());
   transport_->send_data(guid, requester, e->ddf.get());
-  ++data_sent_;
+  data_sent_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Space::on_register(Guid guid, int requester) {
-  ++regs_received_;
+  regs_received_.fetch_add(1, std::memory_order_relaxed);
   Entry* e = ensure(guid);
   if (e->ddf.satisfied()) {
     serve(guid, e, requester);  // the "listener task" answering late arrivals
   } else {
     pending_[guid].push_back(requester);
+    pending_guids_.store(pending_.size(), std::memory_order_relaxed);
   }
 }
 
@@ -121,13 +151,13 @@ void Space::on_data(Guid guid, Bytes payload) {
   ensure(guid)->ddf.put(std::move(payload));  // wakes awaiting DDTs
 }
 
-void Space::finalize() {
+void Space::finalize(std::uint64_t timeout_ms) {
   finalized_.store(true, std::memory_order_release);
   // When every rank has reached finalize, every await was satisfied, hence
   // every registration was served and no protocol message is in flight: a
   // single system-wide barrier *whose progress engine keeps the listener
   // serving* is a sound termination detector (DESIGN.md §5).
-  transport_->finalize_barrier();
+  transport_->finalize_barrier(timeout_ms);
 }
 
 }  // namespace dddf

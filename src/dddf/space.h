@@ -107,11 +107,20 @@ class Space {
   // or a new remote await after finalize() throws hc::check::CheckError:
   // protocol traffic behind the termination detector's back deadlocks or
   // drops data at scale even when a small run happens to survive it.
-  void finalize();
+  //
+  // timeout_ms bounds the wait for global quiescence: 0 defers to the
+  // process-wide fault::finalize_timeout_ms() (default: wait forever); a
+  // nonzero effective deadline turns a hung barrier into BarrierTimeout
+  // naming the ranks that never arrived.
+  void finalize(std::uint64_t timeout_ms = 0);
 
   // Introspection for tests.
-  std::uint64_t data_messages_sent() const { return data_sent_; }
-  std::uint64_t registrations_received() const { return regs_received_; }
+  std::uint64_t data_messages_sent() const {
+    return data_sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t registrations_received() const {
+    return regs_received_.load(std::memory_order_relaxed);
+  }
   std::uint64_t remote_gets_issued() const {
     return gets_issued_.load(std::memory_order_relaxed);
   }
@@ -141,10 +150,19 @@ class Space {
   // Progress-context-only state (no lock needed).
   std::unordered_map<Guid, std::vector<int>> pending_;  // waiting requesters
   std::unordered_map<Guid, std::unordered_set<int>> served_;
-  std::uint64_t data_sent_ = 0;
-  std::uint64_t regs_received_ = 0;
-  // Bumped from consumer threads (first await on a remote guid), hence atomic.
+  // Bumped on the progress context only, but read from computation threads
+  // (test introspection after finalize, the teardown metrics export, the
+  // watchdog dump) with no synchronizing edge — hence relaxed atomics.
+  std::atomic<std::uint64_t> data_sent_{0};
+  std::atomic<std::uint64_t> regs_received_{0};
+  // Bumped from consumer threads (first await on a remote guid).
   std::atomic<std::uint64_t> gets_issued_{0};
+
+  // Relaxed mirrors of the progress-context counters above, readable from
+  // the watchdog's diagnostic dump (any thread).
+  std::atomic<std::uint64_t> pending_guids_{0};
+  std::atomic<std::uint64_t> served_pairs_{0};
+  int diag_id_ = -1;  // fault::register_diagnostic handle
 };
 
 }  // namespace dddf

@@ -15,12 +15,37 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace dddf {
 
 using Guid = std::uint64_t;
 using Bytes = std::vector<std::uint8_t>;
+
+// Thrown by finalize_barrier when a deadline was set and some ranks never
+// arrived (rank death, lost protocol traffic past the retry budget) —
+// `missing()` names them, turning the classic hang-forever into an
+// actionable diagnostic.
+class BarrierTimeout : public std::runtime_error {
+ public:
+  BarrierTimeout(int rank, std::vector<int> missing)
+      : std::runtime_error(format(rank, missing)),
+        rank_(rank), missing_(std::move(missing)) {}
+  int rank() const { return rank_; }
+  const std::vector<int>& missing() const { return missing_; }
+
+ private:
+  static std::string format(int rank, const std::vector<int>& missing) {
+    std::string s = "dddf: finalize barrier timed out on rank " +
+                    std::to_string(rank) + "; ranks never arrived:";
+    for (int r : missing) s += " " + std::to_string(r);
+    return s;
+  }
+  int rank_;
+  std::vector<int> missing_;
+};
 
 class Transport {
  public:
@@ -52,8 +77,11 @@ class Transport {
   virtual void post(std::function<void()> fn) = 0;
   // Collective termination barrier; the progress engine MUST keep serving
   // protocol messages while blocked here (Space::finalize's soundness
-  // argument depends on it).
-  virtual void finalize_barrier() = 0;
+  // argument depends on it). timeout_ms == 0 falls back to the process-wide
+  // fault::finalize_timeout_ms() (which defaults to wait-forever); a nonzero
+  // effective deadline turns a hung barrier into a thrown BarrierTimeout
+  // naming the ranks that never arrived.
+  virtual void finalize_barrier(std::uint64_t timeout_ms = 0) = 0;
 
  protected:
   Transport(int rank, int size) : rank_(rank), size_(size) {}

@@ -17,10 +17,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
+#include <string>
 
 #include "check/check.h"
 #include "core/ddf.h"
 #include "smpi/comm.h"
+#include "support/trace.h"
 
 namespace hcmpi {
 
@@ -49,6 +52,26 @@ enum class CommKind : std::uint8_t {
   kExec,
   kShutdown,
 };
+
+inline const char* kind_name(CommKind k) {
+  switch (k) {
+    case CommKind::kIsend: return "isend";
+    case CommKind::kIrecv: return "irecv";
+    case CommKind::kCancel: return "cancel";
+    case CommKind::kBarrier: return "barrier";
+    case CommKind::kBcast: return "bcast";
+    case CommKind::kReduce: return "reduce";
+    case CommKind::kAllreduce: return "allreduce";
+    case CommKind::kScan: return "scan";
+    case CommKind::kGather: return "gather";
+    case CommKind::kScatter: return "scatter";
+    case CommKind::kNbBarrier: return "nb_barrier";
+    case CommKind::kNbAllreduce: return "nb_allreduce";
+    case CommKind::kExec: return "exec";
+    case CommKind::kShutdown: return "shutdown";
+  }
+  return "?";
+}
 
 enum class CommTaskState : std::uint8_t {
   kAllocated,
@@ -84,10 +107,44 @@ constexpr bool valid_transition(CommTaskState from, CommTaskState to) {
 // test/cancel can reach the in-flight operation.
 struct CommTask;
 
+// Raised *into the enclosing finish scope* when a request with a deadline
+// and the raise policy expires: the finish's waiter rethrows it, which is
+// the structured form of "this communication never completed".
+class RequestTimeout : public std::runtime_error {
+ public:
+  RequestTimeout(CommKind kind, int peer, int tag)
+      : std::runtime_error(std::string("hcmpi: request timed out: ") +
+                           kind_name(kind) + " peer=" + std::to_string(peer) +
+                           " tag=" + std::to_string(tag)),
+        kind_(kind), peer_(peer), tag_(tag) {}
+  CommKind kind() const { return kind_; }
+  int peer() const { return peer_; }
+  int tag() const { return tag_; }
+
+ private:
+  CommKind kind_;
+  int peer_;
+  int tag_;
+};
+
 class RequestImpl : public hc::Ddf<Status> {
  public:
   std::atomic<CommTask*> task{nullptr};
   std::atomic<std::uint64_t> task_gen{0};
+
+  // Per-request deadline (hc-fault): the communication worker's ACTIVE scan
+  // completes an expired request with Status.error = kTimeout instead of
+  // letting it hang. With `raise` (the default), the timeout is additionally
+  // thrown into the enclosing finish scope as RequestTimeout; pass
+  // raise=false to handle the coded Status yourself.
+  void set_timeout(std::uint64_t timeout_us, bool raise = true) {
+    raise_on_timeout.store(raise, std::memory_order_relaxed);
+    deadline_ns.store(support::trace::now_ns() + timeout_us * 1000,
+                      std::memory_order_release);
+  }
+
+  std::atomic<std::uint64_t> deadline_ns{0};  // 0 = no deadline
+  std::atomic<bool> raise_on_timeout{false};
 };
 
 using RequestHandle = std::shared_ptr<RequestImpl>;

@@ -4,11 +4,14 @@
 // collectives, and runs the DDDF poller — all on one thread, so the
 // substrate operates at MPI_THREAD_SINGLE no matter how many computation
 // workers are active.
+#include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <thread>
 #include <vector>
 
+#include "fault/fault.h"
 #include "hcmpi/context.h"
 
 namespace hcmpi {
@@ -143,6 +146,11 @@ RequestHandle Context::submit_nb_barrier() {
   t->kind = CommKind::kNbBarrier;
   t->request = req;
   t->finish = nullptr;
+  // Linked like p2p requests so a deadlined finalize barrier is cancellable
+  // (Transport::finalize_barrier timeout; see the kCancel nb path below).
+  req->task.store(t, std::memory_order_release);
+  req->task_gen.store(t->gen.load(std::memory_order_acquire),
+                      std::memory_order_release);
   submit(t);
   return req;
 }
@@ -160,6 +168,9 @@ RequestHandle Context::submit_nb_allreduce(const void* in, void* out,
   t->op = op;
   t->request = req;
   t->finish = nullptr;
+  req->task.store(t, std::memory_order_release);
+  req->task_gen.store(t->gen.load(std::memory_order_acquire),
+                      std::memory_order_release);
   submit(t);
   return req;
 }
@@ -174,12 +185,82 @@ void Context::comm_worker_main() {
   std::vector<CommTask*> active;        // ACTIVE irecvs being polled
   std::deque<CommTask*> coll_queue;     // FIFO of collectives
   bool shutting_down = false;
+  std::uint64_t stall_since_ns = 0;     // hc-fault watchdog arm time
 
   auto complete_p2p = [&](CommTask* t) {
     Status st;
     comm_.test(t->sreq, &st);
     comm_counters_.p2p_completions.fetch_add(1, std::memory_order_relaxed);
     complete_task(t, st);
+  };
+
+  // Deadline expiry (RequestImpl::set_timeout): unhook the posted receive
+  // and complete the request with kTimeout so waiters never hang. The
+  // raise policy additionally throws RequestTimeout into the enclosing
+  // finish, turning the lost message into a structured failure.
+  auto expire_p2p = [&](CommTask* t) {
+    if (!comm_.cancel(t->sreq)) {
+      complete_p2p(t);  // completed just under the deadline — not a timeout
+      return;
+    }
+    support::MetricsRegistry::global().counter("request.timeout.count").add();
+    self->trace_ring().record(support::trace::Ev::kRequestTimeout, t->slot_id,
+                              t->gen.load(std::memory_order_relaxed));
+    if (t->request &&
+        t->request->raise_on_timeout.load(std::memory_order_relaxed) &&
+        t->finish != nullptr) {
+      t->finish->capture_exception(std::make_exception_ptr(
+          RequestTimeout(t->kind, t->peer, t->tag)));
+    }
+    Status st;
+    st.source = t->peer;
+    st.tag = t->tag;
+    st.error = smpi::ErrorCode::kTimeout;
+    complete_task(t, st);
+  };
+
+  // Stall diagnostics: outstanding comm tasks with their states, the tail of
+  // every worker's trace ring, and whatever subsystems registered with the
+  // fault diagnostics registry (the DDDF space's table).
+  auto watchdog_fire = [&](std::uint64_t stall_ns) {
+    support::MetricsRegistry::global().counter("watchdog.fired").add();
+    self->trace_ring().record(
+        support::trace::Ev::kWatchdogFired,
+        std::uint32_t(active.size() + coll_queue.size()), stall_ns);
+    std::FILE* f = stderr;
+    std::fprintf(f,
+                 "\n== hcmpi watchdog: rank %d saw no comm-task lifecycle "
+                 "transition for %.1f ms with work outstanding ==\n",
+                 rank(), double(stall_ns) / 1e6);
+    auto dump_task = [&](const CommTask* t) {
+      std::fprintf(f,
+                   "    slot=%u gen=%llu %s peer=%d tag=%d bytes=%zu "
+                   "state=%d\n",
+                   t->slot_id,
+                   (unsigned long long)t->gen.load(std::memory_order_relaxed),
+                   kind_name(t->kind), t->peer, t->tag, t->bytes,
+                   int(t->state.load(std::memory_order_relaxed)));
+    };
+    std::fprintf(f, "  ACTIVE p2p tasks (%zu):\n", active.size());
+    for (const CommTask* t : active) dump_task(t);
+    std::fprintf(f, "  queued collectives (%zu):\n", coll_queue.size());
+    for (const CommTask* t : coll_queue) dump_task(t);
+    for (int i = 0; i < runtime_->total_slots(); ++i) {
+      hc::Worker* w = runtime_->slot(i);
+      if (w == nullptr) continue;
+      auto evs = w->trace_ring().snapshot();
+      std::size_t tail = evs.size() < 6 ? evs.size() : 6;
+      std::fprintf(f, "  worker slot %d ring tail (%zu of %zu events):\n", i,
+                   tail, evs.size());
+      for (std::size_t k = evs.size() - tail; k < evs.size(); ++k) {
+        std::fprintf(f, "    t=%lluns %s a=%u b=%llu\n",
+                     (unsigned long long)evs[k].ts_ns,
+                     support::trace::ev_name(evs[k].kind), evs[k].a,
+                     (unsigned long long)evs[k].b);
+      }
+    }
+    fault::dump_diagnostics(f);
+    std::fprintf(f, "== end hcmpi watchdog dump ==\n");
   };
 
   // The PRESCRIBED -> ACTIVE transition of Fig. 10: timestamped and
@@ -233,14 +314,32 @@ void Context::comm_worker_main() {
           if (target != nullptr &&
               target->gen.load(std::memory_order_acquire) == t->target_gen &&
               target->state.load(std::memory_order_acquire) ==
-                  CommTaskState::kActive &&
-              target->kind == CommKind::kIrecv) {
-            if (comm_.cancel(target->sreq)) {
-              std::erase(active, target);
-              Status st;
-              st.cancelled = true;
-              st.error = smpi::ErrorCode::kCancelled;
-              complete_task(target, st);
+                  CommTaskState::kActive) {
+            if (target->kind == CommKind::kIrecv) {
+              if (comm_.cancel(target->sreq)) {
+                std::erase(active, target);
+                Status st;
+                st.cancelled = true;
+                st.error = smpi::ErrorCode::kCancelled;
+                complete_task(target, st);
+              }
+            } else if (target->kind == CommKind::kNbBarrier ||
+                       target->kind == CommKind::kNbAllreduce) {
+              // A deadlined finalize barrier must be removable from the
+              // collective queue, or the shutdown drain below waits on the
+              // stuck script forever.
+              auto it =
+                  std::find(coll_queue.begin(), coll_queue.end(), target);
+              if (it != coll_queue.end()) {
+                if (target->script && target->script->pending) {
+                  comm_.cancel(target->script->pending);
+                }
+                coll_queue.erase(it);
+                Status st;
+                st.cancelled = true;
+                st.error = smpi::ErrorCode::kCancelled;
+                complete_task(target, st);
+              }
             }
           }
           release_task(t);
@@ -261,18 +360,30 @@ void Context::comm_worker_main() {
       }
     }
 
-    // 2. Poll ACTIVE point-to-point requests (the paper's MPI_Test loop).
+    // 2. Poll ACTIVE point-to-point requests (the paper's MPI_Test loop),
+    // expiring any whose deadline has passed.
     for (std::size_t i = 0; i < active.size();) {
       comm_counters_.p2p_polls.fetch_add(1, std::memory_order_relaxed);
-      if (active[i]->sreq->done()) {
-        CommTask* done = active[i];
+      CommTask* t2 = active[i];
+      if (t2->sreq->done()) {
         active[i] = active.back();
         active.pop_back();
-        complete_p2p(done);
+        complete_p2p(t2);
         progress = true;
-      } else {
-        ++i;
+        continue;
       }
+      std::uint64_t dl =
+          t2->request != nullptr
+              ? t2->request->deadline_ns.load(std::memory_order_acquire)
+              : 0;
+      if (dl != 0 && support::trace::now_ns() >= dl) {
+        active[i] = active.back();
+        active.pop_back();
+        expire_p2p(t2);
+        progress = true;
+        continue;
+      }
+      ++i;
     }
 
     // 3. Progress the head collective.
@@ -350,6 +461,24 @@ void Context::comm_worker_main() {
     // 4. DDDF / user poller.
     if (poller_set_.load(std::memory_order_acquire) && poller_(sys_comm_)) {
       progress = true;
+    }
+
+    // 5. Stall watchdog (hc-fault): tasks outstanding but nothing moved for
+    // the configured window — dump diagnostics and rearm. One relaxed load
+    // when the watchdog is off.
+    std::uint64_t wd = fault::watchdog_ns();
+    if (wd != 0) {
+      if (progress || (active.empty() && coll_queue.empty())) {
+        stall_since_ns = 0;
+      } else {
+        std::uint64_t now = support::trace::now_ns();
+        if (stall_since_ns == 0) {
+          stall_since_ns = now;
+        } else if (now - stall_since_ns >= wd) {
+          watchdog_fire(now - stall_since_ns);
+          stall_since_ns = now;  // rearm for the next window
+        }
+      }
     }
 
     if (shutting_down && active.empty() && coll_queue.empty() &&

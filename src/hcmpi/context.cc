@@ -148,6 +148,16 @@ void Context::set_poller(std::function<bool(smpi::Comm&)> poller) {
   poller_set_.store(true, std::memory_order_release);
 }
 
+void Context::clear_poller() {
+  // The clearing store runs on the communication worker itself: the worker
+  // is executing this task, so no poll() call is concurrent with it, and
+  // every later loop iteration observes the cleared flag.
+  RequestHandle r = post_exec_async([this](smpi::Comm&) {
+    poller_set_.store(false, std::memory_order_release);
+  });
+  block_until(r);
+}
+
 void Context::complete_task(CommTask* t, const Status& st) {
   if (support::trace::enabled()) {
     t->ts_completed = support::trace::now_ns();
@@ -182,6 +192,18 @@ void Context::complete_task(CommTask* t, const Status& st) {
 void Context::block_until(const RequestHandle& r) {
   support::Backoff backoff;
   while (!r->satisfied()) backoff.pause();
+}
+
+bool Context::block_until_deadline(const RequestHandle& r,
+                                   std::uint64_t timeout_ms) {
+  std::uint64_t deadline =
+      support::trace::now_ns() + timeout_ms * 1000000ull;
+  support::Backoff backoff;
+  while (!r->satisfied()) {
+    if (support::trace::now_ns() >= deadline) return false;
+    backoff.pause();
+  }
+  return true;
 }
 
 void Context::help_wait_satisfied(const hc::DdfBase& ddf) {

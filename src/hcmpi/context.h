@@ -113,6 +113,10 @@ class Context {
   // Registers a progress poller called every communication-worker iteration
   // (DDDF listener). Must be installed before traffic starts.
   void set_poller(std::function<bool(smpi::Comm&)> poller);
+  // Detaches the poller with a handshake on the communication worker: once
+  // this returns, no poller call is in flight and none will start, so the
+  // owner (the DDDF transport) can safely destroy the state it polls into.
+  void clear_poller();
   // Enqueues a script-based non-blocking barrier/allreduce; the returned
   // request is put when it completes. `finish_scoped` controls whether the
   // op joins the caller's finish scope.
@@ -123,6 +127,10 @@ class Context {
   // Blocks (yield-spin, no helping) until the request completes. Safe from
   // phaser boundaries where help-execution could self-deadlock.
   static void block_until(const RequestHandle& r);
+  // Same, but gives up after timeout_ms; false on timeout (the request is
+  // still in flight — cancel it before dropping the handle).
+  static bool block_until_deadline(const RequestHandle& r,
+                                   std::uint64_t timeout_ms);
 
   // Lifecycle observability for tests (counts recycled slots).
   std::uint64_t pool_size() const;

@@ -21,17 +21,17 @@ constexpr int kTagScatter = 6000;
 constexpr int kTagAlltoall = 8000;
 }  // namespace
 
-void Comm::csend(const void* buf, std::size_t bytes, int dest, int tag) {
+ErrorCode Comm::csend(const void* buf, std::size_t bytes, int dest, int tag) {
   Envelope env;
   env.source = rank_;
   env.tag = tag;
   env.context = coll_context();
   env.payload.resize(bytes);
   if (bytes > 0) std::memcpy(env.payload.data(), buf, bytes);
-  endpoint(dest).deliver(std::move(env));
+  return wire_deliver(dest, std::move(env));
 }
 
-void Comm::crecv(void* buf, std::size_t cap, int source, int tag) {
+ErrorCode Comm::crecv(void* buf, std::size_t cap, int source, int tag) {
   auto req = std::make_shared<RequestState>();
   req->kind = ReqKind::kRecv;
   req->recv_buf = buf;
@@ -42,9 +42,7 @@ void Comm::crecv(void* buf, std::size_t cap, int source, int tag) {
   req->owner = &endpoint(rank_);
   endpoint(rank_).post_recv(req);
   endpoint(rank_).wait_request(req);
-  if (req->status.error == ErrorCode::kTruncate) {
-    throw Error(ErrorCode::kTruncate, "smpi: collective payload truncated");
-  }
+  return req->status.error;
 }
 
 void Comm::barrier() {

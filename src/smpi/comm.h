@@ -96,9 +96,19 @@ class Comm {
   }
   std::uint32_t coll_context() const { return context_ | kCollectiveContextBit; }
 
-  // p2p helpers used by the collective algorithms (private context).
-  void csend(const void* buf, std::size_t bytes, int dest, int tag);
-  void crecv(void* buf, std::size_t cap, int source, int tag);
+  // Delivery through the (optionally faulty) wire: with injection off this
+  // is exactly endpoint(dest).deliver(); with injection on it draws a fault
+  // decision, retransmits dropped attempts with capped backoff under a fixed
+  // wire_seq, and reports a fail-stopped peer as kRankDead instead of
+  // delivering into the void.
+  ErrorCode wire_deliver(int dest, Envelope&& env);
+
+  // p2p helpers used by the collective algorithms (private context). Both
+  // report recoverable conditions as coded errors rather than throwing:
+  // csend → kRankDead when either end is fail-stopped, crecv → the received
+  // status error (kTruncate on a short buffer).
+  ErrorCode csend(const void* buf, std::size_t bytes, int dest, int tag);
+  ErrorCode crecv(void* buf, std::size_t cap, int source, int tag);
 
   World* world_;
   int rank_;

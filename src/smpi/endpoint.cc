@@ -20,6 +20,10 @@ void Endpoint::complete_recv_locked(const Request& req, Envelope& env) {
 
 void Endpoint::deliver(Envelope&& env) {
   std::lock_guard<std::mutex> lk(mu_);
+  if (env.faulty &&
+      !wire_seen_.emplace(env.wire_src, env.wire_seq).second) {
+    return;  // retransmit or injected duplicate of an accepted message
+  }
   for (auto it = posted_.begin(); it != posted_.end(); ++it) {
     if (matches(**it, env)) {
       Request req = *it;

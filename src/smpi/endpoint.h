@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "smpi/request.h"
@@ -19,6 +21,14 @@ struct Envelope {
   int tag = 0;
   std::uint32_t context = 0;
   std::vector<std::uint8_t> payload;
+
+  // Wire identity, set only when the envelope crossed the faulty wire
+  // (fault::enabled()): retransmits and injected duplicates reuse the
+  // sequence number of the first attempt, and the destination endpoint
+  // drops any (wire_src, wire_seq) it has already accepted.
+  bool faulty = false;
+  int wire_src = -1;  // world rank of the sender
+  std::uint64_t wire_seq = 0;
 };
 
 class Endpoint {
@@ -67,6 +77,10 @@ class Endpoint {
   std::deque<Request> posted_;
   std::deque<Envelope> unexpected_;
   std::uint64_t unexpected_hw_ = 0;
+  // Accepted (wire_src, wire_seq) pairs — the at-most-once filter for faulty
+  // deliveries. Only populated while injection is armed; chaos runs are short
+  // so the set is left unbounded.
+  std::set<std::pair<int, std::uint64_t>> wire_seen_;
 };
 
 }  // namespace smpi

@@ -1,10 +1,52 @@
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
+#include "fault/fault.h"
 #include "smpi/comm.h"
 #include "smpi/world.h"
 
 namespace smpi {
+
+ErrorCode Comm::wire_deliver(int dest, Envelope&& env) {
+  Endpoint& ep = endpoint(dest);
+  if (!fault::enabled()) {
+    ep.deliver(std::move(env));
+    return ErrorCode::kOk;
+  }
+  int src_w = world_rank(rank_);
+  int dst_w = world_rank(dest);
+  if (fault::rank_dead(src_w) || fault::rank_dead(dst_w)) {
+    return ErrorCode::kRankDead;
+  }
+  fault::Decision d = fault::decide(src_w, dst_w);
+  env.faulty = true;
+  env.wire_src = src_w;
+  env.wire_seq = d.seq;  // fixed across retransmits: the dedup identity
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    if (d.delay_us != 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(d.delay_us));
+    }
+    if (!d.drop) {
+      if (d.dup) {
+        Envelope copy = env;
+        ep.deliver(std::move(copy));
+      }
+      ep.deliver(std::move(env));
+      return ErrorCode::kOk;
+    }
+    // The wire ate this attempt. Delivery is synchronous here, so the lost
+    // ack surfaces immediately as this failed call: back off (capped
+    // exponential) and retransmit under the same wire_seq; the receiver
+    // dedups if an earlier copy did land.
+    fault::retry_backoff(attempt);
+    if (fault::rank_dead(src_w) || fault::rank_dead(dst_w)) {
+      return ErrorCode::kRankDead;
+    }
+    d = fault::decide(src_w, dst_w);
+  }
+}
 
 Request Comm::isend(const void* buf, std::size_t bytes, int dest, int tag) {
   if (dest < 0 || dest >= size()) {
@@ -16,15 +58,17 @@ Request Comm::isend(const void* buf, std::size_t bytes, int dest, int tag) {
   env.context = context_;
   env.payload.resize(bytes);
   if (bytes > 0) std::memcpy(env.payload.data(), buf, bytes);
-  endpoint(dest).deliver(std::move(env));
+  ErrorCode wire = wire_deliver(dest, std::move(env));
 
   // Eager/buffered mode: the payload is out of the user buffer, so the send
-  // completes now.
+  // completes now — with the wire's verdict in the status (kRankDead when
+  // the peer fail-stopped; delivery errors are otherwise retried away).
   auto req = std::make_shared<RequestState>();
   req->kind = ReqKind::kSend;
   req->status.source = rank_;
   req->status.tag = tag;
-  req->status.count_bytes = bytes;
+  req->status.count_bytes = wire == ErrorCode::kOk ? bytes : 0;
+  req->status.error = wire;
   req->state.store(ReqState::kComplete, std::memory_order_release);
   return req;
 }

@@ -55,7 +55,20 @@ enum class ErrorCode : int {
   kOk = 0,
   kTruncate = 1,   // message longer than the posted buffer
   kCancelled = 2,  // request cancelled before completion
+  kTimeout = 3,    // request deadline expired before a match (hc-fault)
+  kRankDead = 4,   // peer rank fail-stopped (hc-fault kill_rank injection)
 };
+
+inline const char* error_name(ErrorCode e) {
+  switch (e) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kTruncate: return "truncate";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kRankDead: return "rank_dead";
+  }
+  return "?";
+}
 
 struct Status {
   int source = kAnySource;

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <string>
 
+#include "fault/fault.h"
 #include "support/flags.h"
 #include "support/metrics.h"
 #include "support/trace.h"
@@ -22,6 +23,7 @@ class Observe {
       trace::Collector::global().clear();
       trace::set_enabled(true);
     }
+    fault::configure(flags);  // --fault-* knobs (no-ops when absent)
   }
 
   ~Observe() {

@@ -73,9 +73,22 @@ const char* ev_name(Ev e) {
     case Ev::kDddfData: return "dddf_data";
     case Ev::kCheckRace: return "check_race";
     case Ev::kCheckViolation: return "check_violation";
+    case Ev::kFaultDrop: return "fault_drop";
+    case Ev::kFaultDelay: return "fault_delay";
+    case Ev::kFaultDup: return "fault_dup";
+    case Ev::kRetry: return "retry";
+    case Ev::kRequestTimeout: return "request_timeout";
+    case Ev::kWatchdogFired: return "watchdog_fired";
   }
   return "?";
 }
+
+namespace {
+thread_local Ring* t_ring = nullptr;
+}  // namespace
+
+Ring* thread_ring() { return t_ring; }
+void set_thread_ring(Ring* r) { t_ring = r; }
 
 // ---------------------------------------------------------------------------
 // Ring
@@ -267,6 +280,12 @@ std::string chrome_trace_json() {
         case Ev::kDddfData:
         case Ev::kCheckRace:
         case Ev::kCheckViolation:
+        case Ev::kFaultDrop:
+        case Ev::kFaultDelay:
+        case Ev::kFaultDup:
+        case Ev::kRetry:
+        case Ev::kRequestTimeout:
+        case Ev::kWatchdogFired:
           sep();
           append(out,
                  "{\"ph\":\"i\",\"name\":\"%s\",\"cat\":\"worker\",\"s\":\"t\","

@@ -59,6 +59,14 @@ enum class Ev : std::uint8_t {
   // ring so a witness cross-references against the surrounding task spans.
   kCheckRace,       // a = other strand id of the witness, b = address
   kCheckViolation,  // a = violation class (misuse analyzer)
+
+  // hc-fault injection & recovery (src/fault/, smpi wire, AM transport).
+  kFaultDrop,       // a = dst rank, b = channel seq of the dropped attempt
+  kFaultDelay,      // a = dst rank, b = injected delay in us
+  kFaultDup,        // a = dst rank, b = channel seq that was duplicated
+  kRetry,           // a = attempt number, b = backoff slept in us
+  kRequestTimeout,  // a = comm-task slot, b = generation
+  kWatchdogFired,   // a = outstanding ACTIVE tasks, b = stall duration ns
 };
 
 // What an Ev means for the exporter.
@@ -128,6 +136,14 @@ class Ring {
   // so a quiescent full ring snapshots all `capacity` resident events.
   std::atomic<std::uint64_t> claim_{0};
 };
+
+// --- thread-local ring binding ----------------------------------------------
+
+// The ring bound to the calling thread (nullptr when unbound). The core
+// runtime binds each worker's ring as its thread starts; layers that cannot
+// link against the runtime (smpi wire, src/fault) record through this.
+Ring* thread_ring();
+void set_thread_ring(Ring* r);
 
 // --- collection & export ----------------------------------------------------
 
