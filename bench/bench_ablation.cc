@@ -16,7 +16,8 @@
 #include "sim/uts_hybrid.h"
 #include "sim/uts_sim.h"
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::Session ses(argc, argv);  // --trace / --metrics / --prof-* / ...
   sim::MachineConfig jag = sim::jaguar();
   sim::MachineConfig dav = sim::davinci();
 
@@ -72,5 +73,6 @@ int main() {
     }
     std::printf("\n");
   }
+  benchutil::run_traced_probe(ses.obs);
   return 0;
 }

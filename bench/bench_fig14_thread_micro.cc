@@ -1,8 +1,11 @@
 #include "bench/bench_thread_micro_main.h"
 #include "sim/machine.h"
 
-int main() {
-  return run_thread_micro(
+int main(int argc, char** argv) {
+  benchutil::Session ses(argc, argv);  // --trace / --metrics / --prof-* / ...
+  int rc = run_thread_micro(
       sim::davinci(),
       "Fig. 14 — Thread micro-benchmarks, MVAPICH2/InfiniBand (DAVinCI)");
+  benchutil::run_traced_probe(ses.obs);
+  return rc;
 }

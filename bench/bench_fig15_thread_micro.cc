@@ -1,9 +1,12 @@
 #include "bench/bench_thread_micro_main.h"
 #include "sim/machine.h"
 
-int main() {
-  return run_thread_micro(
+int main(int argc, char** argv) {
+  benchutil::Session ses(argc, argv);  // --trace / --metrics / --prof-* / ...
+  int rc = run_thread_micro(
       sim::jaguar(),
       "Fig. 15 — Thread micro-benchmarks, MPICH2/Gemini (Jaguar), including "
       "the paper's repeatable 2-thread anomaly");
+  benchutil::run_traced_probe(ses.obs);
+  return rc;
 }

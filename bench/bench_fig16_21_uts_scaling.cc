@@ -96,8 +96,8 @@ void run_tree(const sim::MachineConfig& m, const TreeCase& tc, int max_nodes) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  support::Flags flags(argc, argv);
-  support::Observe obs(flags);  // --trace=<file> / --metrics
+  benchutil::Session ses(argc, argv);  // --trace / --metrics / --prof-* / ...
+  support::Flags& flags = ses.flags;
   int max_nodes = int(flags.get_int("max_nodes", 1024));
   if (flags.get_bool("quick", false)) max_nodes = 256;
   // --gen_mx grows the geometric tree toward the paper's nodes-per-core
@@ -115,6 +115,6 @@ int main(int argc, char** argv) {
   TreeCase t3{"T3 (binomial)", uts::t3(), 15, 8, 8, 4};
   run_tree(m, t1, max_nodes);
   run_tree(m, t3, max_nodes);
-  benchutil::run_traced_probe(obs);
+  benchutil::run_traced_probe(ses.obs);
   return 0;
 }

@@ -12,8 +12,8 @@
 #include "support/observe.h"
 
 int main(int argc, char** argv) {
-  support::Flags flags(argc, argv);
-  support::Observe obs(flags);  // --trace=<file> / --metrics
+  benchutil::Session ses(argc, argv);  // --trace / --metrics / --prof-* / ...
+  support::Flags& flags = ses.flags;
   benchutil::header("Fig. 22 — HCMPI speedup vs MPI+OpenMP on UTS T1",
                     "Speedup = hybrid time / HCMPI time on the same tree.");
   sim::MachineConfig m = sim::jaguar();
@@ -43,6 +43,6 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
-  benchutil::run_traced_probe(obs);
+  benchutil::run_traced_probe(ses.obs);
   return 0;
 }

@@ -16,8 +16,8 @@
 #include "support/observe.h"
 
 int main(int argc, char** argv) {
-  support::Flags flags(argc, argv);
-  support::Observe obs(flags);  // --trace=<file> / --metrics
+  benchutil::Session ses(argc, argv);  // --trace / --metrics / --prof-* / ...
+  support::Flags& flags = ses.flags;
   benchutil::header(
       "Fig. 24 / Table IV — Smith-Waterman DDDF scaling (DAVinCI model)",
       "Times in seconds; banded-diagonal DDF_HOME distribution.");
@@ -44,6 +44,6 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
-  benchutil::run_traced_probe(obs);
+  benchutil::run_traced_probe(ses.obs);
   return 0;
 }

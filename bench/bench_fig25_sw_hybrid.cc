@@ -16,8 +16,8 @@
 #include "support/observe.h"
 
 int main(int argc, char** argv) {
-  support::Flags flags(argc, argv);
-  support::Observe obs(flags);  // --trace=<file> / --metrics
+  benchutil::Session ses(argc, argv);  // --trace / --metrics / --prof-* / ...
+  support::Flags& flags = ses.flags;
   benchutil::header("Fig. 25 — SW speedup: MPI+OpenMP time / HCMPI-DDDF time",
                     "Values > 1 mean the DDDF dataflow version wins.");
   sim::MachineConfig m = sim::davinci();
@@ -46,6 +46,6 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
-  benchutil::run_traced_probe(obs);
+  benchutil::run_traced_probe(ses.obs);
   return 0;
 }

@@ -14,6 +14,7 @@
 #include "smpi/world.h"
 #include "support/chase_lev_deque.h"
 #include "support/mpsc_queue.h"
+#include "support/observe.h"
 
 namespace {
 
@@ -114,4 +115,24 @@ BENCHMARK(BM_SmpiPingPong)->Arg(0)->Arg(1024);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): google-benchmark rejects flags it
+// does not know, so argv is partitioned first — observability flags
+// (--trace=f / --metrics / --prof-hz=N ..., --name=value form only) go to
+// support::Flags/Observe, everything else to benchmark::Initialize.
+int main(int argc, char** argv) {
+  std::vector<char*> ours{argv[0]}, theirs{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    (support::is_observability_flag(argv[i]) ? ours : theirs).push_back(argv[i]);
+  }
+  support::Flags flags(int(ours.size()), ours.data());
+  support::Observe obs(flags);
+
+  int bench_argc = int(theirs.size());
+  benchmark::Initialize(&bench_argc, theirs.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, theirs.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

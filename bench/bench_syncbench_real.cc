@@ -128,8 +128,8 @@ double bench_accumulator(int ranks, int tasks, int iters) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  support::Flags flags(argc, argv);
-  support::Observe obs(flags);  // --trace=<file> / --metrics
+  benchutil::Session ses(argc, argv);  // --trace / --metrics / --prof-* / ...
+  support::Flags& flags = ses.flags;
   const int iters = int(flags.get_int("iters", 200));
   benchutil::header(
       "Syncbench on real threads (host-relative calibration)",

@@ -7,7 +7,8 @@
 #include "bench/bench_util.h"
 #include "sim/syncbench.h"
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::Session ses(argc, argv);  // --trace / --metrics / --prof-* / ...
   benchutil::header("Table II — EPCC Syncbench (MVAPICH2 on InfiniBand model)",
                     "Collective synchronization times in microseconds. "
                     "(S) strict barrier, (F) fuzzy barrier.");
@@ -35,5 +36,6 @@ int main() {
     line("MPI+OMP Reduction", &sim::SyncbenchRow::hybrid_reduction_us);
     line("HCMPI Accumulator", &sim::SyncbenchRow::hcmpi_accumulator_us);
   }
+  benchutil::run_traced_probe(ses.obs);
   return 0;
 }

@@ -14,8 +14,8 @@
 #include "support/observe.h"
 
 int main(int argc, char** argv) {
-  support::Flags flags(argc, argv);
-  support::Observe obs(flags);  // --trace=<file> / --metrics
+  benchutil::Session ses(argc, argv);  // --trace / --metrics / --prof-* / ...
+  support::Flags& flags = ses.flags;
   benchutil::header("Table III — UTS overhead analysis (T1, Jaguar model)",
                     "Times are per-resource averages in seconds; Fails are "
                     "global failed steal requests.");
@@ -51,6 +51,6 @@ int main(int argc, char** argv) {
           (unsigned long long)r_hc.failed_steals);
     }
   }
-  benchutil::run_traced_probe(obs);
+  benchutil::run_traced_probe(ses.obs);
   return 0;
 }

@@ -21,6 +21,17 @@
 
 namespace benchutil {
 
+// One-liner wiring of the shared observability flag set: every bench binary
+// opens main with `benchutil::Session ses(argc, argv);` and gets the whole
+// table from observe.h (--trace / --metrics / --metrics-json / --fault-* /
+// --prof-*) parsed once, with artifacts written when `ses` leaves scope.
+// Binary-specific knobs read from `ses.flags`.
+struct Session {
+  support::Flags flags;
+  support::Observe obs;
+  Session(int argc, char** argv) : flags(argc, argv), obs(flags) {}
+};
+
 inline void header(const char* artifact, const char* description) {
   std::printf("==============================================================\n");
   std::printf("%s\n", artifact);

@@ -1,0 +1,756 @@
+#include "bench/harness.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "apps/uts/uts.h"
+#include "core/api.h"
+#include "prof/prof.h"
+#include "smpi/comm.h"
+#include "smpi/world.h"
+#include "support/metrics.h"
+
+namespace bench {
+
+// --- Json --------------------------------------------------------------------
+
+Json& Json::set(const std::string& key, Json v) {
+  t = T::kObj;
+  for (auto& [k, val] : obj) {
+    if (k == key) {
+      val = std::move(v);
+      return val;
+    }
+  }
+  obj.emplace_back(key, std::move(v));
+  return obj.back().second;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (t != T::kObj) return nullptr;
+  for (const auto& [k, v] : obj) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double Json::num_or(const std::string& key, double def) const {
+  const Json* v = find(key);
+  if (v == nullptr) return def;
+  if (v->t == T::kNum) return v->num;
+  if (v->t == T::kBool) return v->b ? 1 : 0;
+  return def;
+}
+
+std::string Json::str_or(const std::string& key, const std::string& def) const {
+  const Json* v = find(key);
+  return (v != nullptr && v->t == T::kStr) ? v->str : def;
+}
+
+namespace {
+
+void escape_into(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x",
+                    unsigned{static_cast<unsigned char>(c)});
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+void number_into(std::string& out, double v) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan; clamp rather than corrupt
+    out += v > 0 ? "1e308" : (v < 0 ? "-1e308" : "0");
+    return;
+  }
+  char buf[40];
+  // Integers (counter values, rep counts) print without an exponent.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  out += buf;
+}
+
+void dump_into(std::string& out, const Json& j, int indent, int depth) {
+  const std::string pad(std::size_t(indent) * std::size_t(depth + 1), ' ');
+  const std::string close_pad(std::size_t(indent) * std::size_t(depth), ' ');
+  const char* nl = indent > 0 ? "\n" : "";
+  switch (j.t) {
+    case Json::T::kNull:
+      out += "null";
+      break;
+    case Json::T::kBool:
+      out += j.b ? "true" : "false";
+      break;
+    case Json::T::kNum:
+      number_into(out, j.num);
+      break;
+    case Json::T::kStr:
+      out += '"';
+      escape_into(out, j.str);
+      out += '"';
+      break;
+    case Json::T::kArr: {
+      if (j.arr.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < j.arr.size(); ++i) {
+        out += i == 0 ? nl : (indent > 0 ? ",\n" : ",");
+        out += pad;
+        dump_into(out, j.arr[i], indent, depth + 1);
+      }
+      out += nl;
+      out += close_pad;
+      out += ']';
+      break;
+    }
+    case Json::T::kObj: {
+      if (j.obj.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : j.obj) {
+        out += first ? nl : (indent > 0 ? ",\n" : ",");
+        first = false;
+        out += pad;
+        out += '"';
+        escape_into(out, k);
+        out += "\": ";
+        dump_into(out, v, indent, depth + 1);
+      }
+      out += nl;
+      out += close_pad;
+      out += '}';
+      break;
+    }
+  }
+}
+
+// Recursive-descent parser over the byte range.
+struct Parser {
+  const char* begin;
+  const char* p;
+  const char* end;
+  std::string err;
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  bool fail(const std::string& what) {
+    if (err.empty()) {
+      err = what + " at byte " + std::to_string(p - begin);
+    }
+    return false;
+  }
+
+  bool literal(const char* lit) {
+    std::size_t n = std::strlen(lit);
+    if (std::size_t(end - p) < n || std::strncmp(p, lit, n) != 0) {
+      return fail(std::string("expected '") + lit + "'");
+    }
+    p += n;
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (p >= end || *p != '"') return fail("expected string");
+    ++p;
+    out->clear();
+    while (p < end && *p != '"') {
+      char c = *p++;
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (p >= end) return fail("truncated escape");
+      char e = *p++;
+      switch (e) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (end - p < 4) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = *p++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= unsigned(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= unsigned(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= unsigned(h - 'A' + 10);
+            else return fail("bad \\u escape");
+          }
+          // Reports only emit \u for control bytes; anything wider is kept
+          // as a replacement character rather than implementing UTF-16.
+          *out += code < 0x80 ? char(code) : '?';
+          break;
+        }
+        default:
+          return fail("bad escape");
+      }
+    }
+    if (p >= end) return fail("unterminated string");
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool parse_value(Json* out) {
+    skip_ws();
+    if (p >= end) return fail("unexpected end of input");
+    switch (*p) {
+      case 'n':
+        out->t = Json::T::kNull;
+        return literal("null");
+      case 't':
+        *out = Json::boolean(true);
+        return literal("true");
+      case 'f':
+        *out = Json::boolean(false);
+        return literal("false");
+      case '"':
+        out->t = Json::T::kStr;
+        return parse_string(&out->str);
+      case '[': {
+        ++p;
+        *out = Json::array();
+        skip_ws();
+        if (p < end && *p == ']') {
+          ++p;
+          return true;
+        }
+        for (;;) {
+          out->arr.emplace_back();
+          if (!parse_value(&out->arr.back())) return false;
+          skip_ws();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == ']') {
+            ++p;
+            return true;
+          }
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '{': {
+        ++p;
+        *out = Json::object();
+        skip_ws();
+        if (p < end && *p == '}') {
+          ++p;
+          return true;
+        }
+        for (;;) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(&key)) return false;
+          skip_ws();
+          if (p >= end || *p != ':') return fail("expected ':'");
+          ++p;
+          out->obj.emplace_back(std::move(key), Json());
+          if (!parse_value(&out->obj.back().second)) return false;
+          skip_ws();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == '}') {
+            ++p;
+            return true;
+          }
+          return fail("expected ',' or '}'");
+        }
+      }
+      default: {
+        char* num_end = nullptr;
+        double v = std::strtod(p, &num_end);
+        if (num_end == p) return fail("unexpected character");
+        *out = Json::number(v);
+        p = num_end;
+        return true;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_into(out, *this, indent, 0);
+  return out;
+}
+
+bool Json::parse(const std::string& text, Json* out, std::string* err) {
+  Parser ps{text.data(), text.data(), text.data() + text.size(), {}};
+  bool ok = ps.parse_value(out);
+  if (ok) {
+    ps.skip_ws();
+    if (ps.p != ps.end) {
+      ok = false;
+      ps.err = "trailing garbage after value";
+    }
+  }
+  if (!ok && err != nullptr) *err = ps.err;
+  return ok;
+}
+
+// --- summaries ---------------------------------------------------------------
+
+namespace {
+// Linear interpolation between closest ranks over sorted samples.
+double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  if (sorted.size() == 1) return sorted[0];
+  double pos = q * double(sorted.size() - 1);
+  std::size_t lo = std::size_t(pos);
+  std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - double(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+}  // namespace
+
+MetricSummary summarize(std::vector<double> samples, const std::string& unit,
+                        bool higher_is_better) {
+  MetricSummary m;
+  m.unit = unit;
+  m.higher_is_better = higher_is_better;
+  m.reps = int(samples.size());
+  if (samples.empty()) return m;
+  std::sort(samples.begin(), samples.end());
+  m.min = samples.front();
+  m.max = samples.back();
+  m.median = quantile(samples, 0.5);
+  m.p25 = quantile(samples, 0.25);
+  m.p75 = quantile(samples, 0.75);
+  return m;
+}
+
+// --- report <-> JSON ---------------------------------------------------------
+
+std::string to_json(const Report& r) {
+  Json root = Json::object();
+  root.set("schema", Json::string(r.schema));
+  root.set("pr", Json::number(double(r.pr)));
+  root.set("host", Json::string(r.host));
+  Json benches = Json::object();
+  for (const auto& [name, b] : r.benchmarks) {
+    Json jb = Json::object();
+    Json metrics = Json::object();
+    for (const auto& [mname, m] : b.metrics) {
+      Json jm = Json::object();
+      jm.set("median", Json::number(m.median));
+      jm.set("p25", Json::number(m.p25));
+      jm.set("p75", Json::number(m.p75));
+      jm.set("min", Json::number(m.min));
+      jm.set("max", Json::number(m.max));
+      jm.set("reps", Json::number(double(m.reps)));
+      jm.set("unit", Json::string(m.unit));
+      jm.set("higher_is_better", Json::boolean(m.higher_is_better));
+      metrics.set(mname, std::move(jm));
+    }
+    jb.set("metrics", std::move(metrics));
+    Json counters = Json::object();
+    for (const auto& [cname, v] : b.counters) {
+      counters.set(cname, Json::number(v));
+    }
+    jb.set("counters", std::move(counters));
+    benches.set(name, std::move(jb));
+  }
+  root.set("benchmarks", std::move(benches));
+  return root.dump(2) + "\n";
+}
+
+bool from_json(const std::string& text, Report* out, std::string* err) {
+  Json root;
+  if (!Json::parse(text, &root, err)) return false;
+  if (root.t != Json::T::kObj) {
+    if (err != nullptr) *err = "report root is not an object";
+    return false;
+  }
+  Report r;
+  r.schema = root.str_or("schema", "");
+  if (r.schema.rfind("hcmpi-bench/", 0) != 0) {
+    if (err != nullptr) *err = "unrecognized schema '" + r.schema + "'";
+    return false;
+  }
+  r.pr = int(root.num_or("pr", 0));
+  r.host = root.str_or("host", "");
+  const Json* benches = root.find("benchmarks");
+  if (benches != nullptr && benches->t == Json::T::kObj) {
+    for (const auto& [name, jb] : benches->obj) {
+      BenchResult b;
+      b.name = name;
+      const Json* metrics = jb.find("metrics");
+      if (metrics != nullptr && metrics->t == Json::T::kObj) {
+        for (const auto& [mname, jm] : metrics->obj) {
+          MetricSummary m;
+          m.median = jm.num_or("median", 0);
+          m.p25 = jm.num_or("p25", 0);
+          m.p75 = jm.num_or("p75", 0);
+          m.min = jm.num_or("min", 0);
+          m.max = jm.num_or("max", 0);
+          m.reps = int(jm.num_or("reps", 0));
+          m.unit = jm.str_or("unit", "");
+          m.higher_is_better = jm.num_or("higher_is_better", 1) != 0;
+          b.metrics[mname] = std::move(m);
+        }
+      }
+      const Json* counters = jb.find("counters");
+      if (counters != nullptr && counters->t == Json::T::kObj) {
+        for (const auto& [cname, jc] : counters->obj) {
+          if (jc.t == Json::T::kNum) b.counters[cname] = jc.num;
+        }
+      }
+      r.benchmarks[name] = std::move(b);
+    }
+  }
+  *out = std::move(r);
+  return true;
+}
+
+bool write_report(const Report& r, const std::string& path) {
+  std::string body = to_json(r);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  bool ok = n == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+bool read_report(const std::string& path, Report* out, std::string* err) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (err != nullptr) *err = "cannot open " + path;
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return from_json(text, out, err);
+}
+
+// --- compare -----------------------------------------------------------------
+
+CompareResult compare(const Report& baseline, const Report& candidate,
+                      const CompareOptions& opts) {
+  CompareResult res;
+  char line[256];
+  for (const auto& [bname, base] : baseline.benchmarks) {
+    auto cit = candidate.benchmarks.find(bname);
+    if (cit == candidate.benchmarks.end()) {
+      res.regressions.push_back({bname, "*", 0, 0, 1.0,
+                                 "benchmark missing from candidate report"});
+      continue;
+    }
+    const BenchResult& cand = cit->second;
+    for (const auto& [mname, bm] : base.metrics) {
+      auto mit = cand.metrics.find(mname);
+      if (mit == cand.metrics.end()) {
+        res.regressions.push_back({bname, mname, bm.median, 0, 1.0,
+                                   "metric missing from candidate report"});
+        continue;
+      }
+      const MetricSummary& cm = mit->second;
+      if (bm.median == 0) {
+        res.notes.push_back(bname + "/" + mname +
+                            ": baseline median is 0, not gated");
+        continue;
+      }
+      double change = (cm.median - bm.median) / bm.median;
+      // Normalize so positive = worse regardless of metric direction.
+      double worse = bm.higher_is_better ? -change : change;
+      bool regressed = worse > opts.threshold;
+      std::snprintf(line, sizeof line,
+                    "%s/%s: %.6g -> %.6g %s (%+.1f%%, gate %.0f%%) %s",
+                    bname.c_str(), mname.c_str(), bm.median, cm.median,
+                    bm.unit.c_str(), change * 100, opts.threshold * 100,
+                    regressed ? "REGRESSION" : "ok");
+      res.notes.emplace_back(line);
+      if (regressed) {
+        std::snprintf(line, sizeof line,
+                      "%.1f%% %s (threshold %.0f%%)", worse * 100,
+                      bm.higher_is_better ? "slower" : "higher",
+                      opts.threshold * 100);
+        res.regressions.push_back(
+            {bname, mname, bm.median, cm.median, worse, line});
+      }
+    }
+  }
+  return res;
+}
+
+// --- counter capture ---------------------------------------------------------
+
+namespace {
+
+using CounterMap = std::map<std::string, double>;
+
+// Flattens the registry's JSON export into name -> value: counters keep their
+// name, histograms expand to <name>.count / <name>.sum. Gauges are cadence
+// snapshots (depth at the last tick) — meaningless after the run, skipped.
+CounterMap registry_snapshot() {
+  CounterMap out;
+  Json root;
+  std::string err;
+  if (!Json::parse(support::MetricsRegistry::global().dump_json(), &root,
+                   &err)) {
+    return out;  // never expected; the harness just loses counters
+  }
+  if (const Json* cs = root.find("counters"); cs != nullptr) {
+    for (const auto& [n, v] : cs->obj) {
+      if (v.t == Json::T::kNum) out[n] = v.num;
+    }
+  }
+  if (const Json* hs = root.find("hists"); hs != nullptr) {
+    for (const auto& [n, v] : hs->obj) {
+      out[n + ".count"] = v.num_or("count", 0);
+      out[n + ".sum"] = v.num_or("sum", 0);
+    }
+  }
+  return out;
+}
+
+// The harness runs all three workloads in one process and registry entries
+// are cumulative, so per-benchmark telemetry comes from before/after deltas:
+// plain counters subtract; histograms report delta count and delta mean
+// (sum/count over just this benchmark's samples), which stays well-defined
+// where a percentile of the combined sample set would not.
+void capture_delta(const CounterMap& before, const CounterMap& after,
+                   CounterMap* out) {
+  for (const auto& [name, v] : after) {
+    double base = 0;
+    if (auto it = before.find(name); it != before.end()) base = it->second;
+    double d = v - base;
+    if (d == 0) continue;
+    if (name.size() > 4 && name.rfind(".sum") == name.size() - 4) {
+      std::string stem = name.substr(0, name.size() - 4);
+      double dc = 0;
+      if (auto ac = after.find(stem + ".count"); ac != after.end()) {
+        dc = ac->second;
+        if (auto bc = before.find(stem + ".count"); bc != before.end()) {
+          dc -= bc->second;
+        }
+      }
+      if (dc > 0) (*out)[stem + ".mean"] = d / dc;
+    } else {
+      (*out)[name] = d;
+    }
+  }
+}
+
+double now_sec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void rep_line(const RunOptions& o, const char* bench, int rep, bool warmup,
+              double value, const char* unit) {
+  if (!o.verbose) return;
+  std::printf("  %-14s %s %2d  %12.0f %s\n", bench,
+              warmup ? "warmup" : "rep   ", rep, value, unit);
+  std::fflush(stdout);
+}
+
+// Shared rep driver: runs `body` (returns this rep's metric value) for
+// warmup + measured reps with scheduler/comm telemetry enabled, captures the
+// registry delta across the measured reps, and summarizes.
+template <typename Body>
+BenchResult drive(const RunOptions& o, const char* name, const char* metric,
+                  const char* unit, Body&& body) {
+  BenchResult res;
+  res.name = name;
+  for (int i = 0; i < o.warmup; ++i) {
+    rep_line(o, name, i, /*warmup=*/true, body(), unit);
+  }
+  prof::set_telemetry(true);
+  CounterMap before = registry_snapshot();
+  std::vector<double> samples;
+  double t0 = now_sec();
+  for (int i = 0; i < o.reps; ++i) {
+    double v = body();
+    samples.push_back(v);
+    rep_line(o, name, i, /*warmup=*/false, v, unit);
+  }
+  double wall = now_sec() - t0;
+  CounterMap after = registry_snapshot();
+  prof::set_telemetry(false);
+  capture_delta(before, after, &res.counters);
+  // Worker utilization over the measured window: task-body time as a share
+  // of workers x wall (the sched.task_granularity_ns histogram sums exactly
+  // the task-body nanoseconds).
+  if (auto it = after.find("sched.task_granularity_ns.sum");
+      it != after.end() && wall > 0) {
+    double task_ns = it->second;
+    if (auto b = before.find("sched.task_granularity_ns.sum");
+        b != before.end()) {
+      task_ns -= b->second;
+    }
+    if (task_ns > 0) {
+      res.counters["worker_utilization_pct"] =
+          100.0 * task_ns / (double(o.workers) * wall * 1e9);
+    }
+  }
+  res.metrics[metric] = summarize(std::move(samples), unit,
+                                  /*higher_is_better=*/true);
+  return res;
+}
+
+// UTS worker-side search, the uts_workstealing spill idiom: explore from a
+// local stack, offload the oldest chunk to the work-stealing pool when it
+// overflows 2x the chunk size.
+struct UtsSearch {
+  uts::Params params;
+  int chunk;
+  std::atomic<std::uint64_t> nodes{0};
+
+  void explore(std::vector<uts::Node> stack) {
+    std::uint64_t local = 0;
+    while (!stack.empty()) {
+      uts::Node n = stack.back();
+      stack.pop_back();
+      ++local;
+      int k = uts::num_children(n, params);
+      for (int i = 0; i < k; ++i) {
+        stack.push_back(uts::make_child(n, std::uint32_t(i)));
+      }
+      if (int(stack.size()) > 2 * chunk) {
+        std::vector<uts::Node> spill(stack.begin(), stack.begin() + chunk);
+        stack.erase(stack.begin(), stack.begin() + chunk);
+        hc::async([this, spill = std::move(spill)]() mutable {
+          explore(std::move(spill));
+        });
+      }
+    }
+    nodes.fetch_add(local, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace
+
+// --- workloads ---------------------------------------------------------------
+
+BenchResult run_runtime_micro(const RunOptions& o) {
+  const int tasks = o.micro_tasks;
+  return drive(o, "runtime_micro", "tasks_per_sec", "tasks/s", [&] {
+    hc::Runtime rt({.num_workers = o.workers});
+    double elapsed = 0;
+    rt.launch([&] {
+      double t0 = now_sec();
+      hc::finish([&] {
+        for (int i = 0; i < tasks; ++i) {
+          hc::async([i] {
+            volatile long acc = 0;
+            for (int k = 0; k < 64; ++k) acc = acc + k * i;
+          });
+        }
+      });
+      elapsed = now_sec() - t0;
+    });
+    return double(tasks) / elapsed;
+  });
+}
+
+BenchResult run_uts(const RunOptions& o) {
+  uts::Params p = uts::Params{};  // T1-shaped geometric tree (b0=4), the
+  p.gen_mx = o.uts_gen_mx;        // Fig. 16 configuration family with depth
+  p.root_seed = 10;               // reduced to harness-friendly size
+                                  // (seed 10: ~240k nodes at gen_mx=8)
+  const uts::CountResult seq = uts::count_sequential(p);
+  BenchResult res =
+      drive(o, "uts", "nodes_per_sec", "nodes/s", [&]() -> double {
+        UtsSearch search{p, o.uts_chunk, {}};
+        hc::Runtime rt({.num_workers = o.workers});
+        double t0 = now_sec();
+        rt.launch([&] {
+          hc::finish([&] { search.explore({uts::make_root(p)}); });
+        });
+        double elapsed = now_sec() - t0;
+        if (search.nodes.load() != seq.nodes) {
+          std::fprintf(stderr,
+                       "uts: count mismatch (parallel %llu != sequential "
+                       "%llu) — rep discarded as 0\n",
+                       (unsigned long long)search.nodes.load(),
+                       (unsigned long long)seq.nodes);
+          return 0;
+        }
+        return double(seq.nodes) / elapsed;
+      });
+  res.counters["uts_tree_nodes"] = double(seq.nodes);
+  return res;
+}
+
+BenchResult run_smpi_msgrate(const RunOptions& o) {
+  const int msgs = o.msgrate_msgs;
+  return drive(o, "smpi_msgrate", "msgs_per_sec", "msgs/s", [&] {
+    double elapsed = 0;
+    smpi::World::run(2, [&](smpi::Comm& comm) {
+      int payload = 0;
+      if (comm.rank() == 0) {
+        double t0 = now_sec();
+        for (int i = 0; i < msgs; ++i) {
+          comm.send(&payload, sizeof payload, 1, 7);
+          comm.recv(&payload, sizeof payload, 1, 7);
+        }
+        elapsed = now_sec() - t0;
+      } else {
+        for (int i = 0; i < msgs; ++i) {
+          comm.recv(&payload, sizeof payload, 0, 7);
+          comm.send(&payload, sizeof payload, 0, 7);
+        }
+      }
+    });
+    // Two messages cross the wire per round trip.
+    return 2.0 * double(msgs) / elapsed;
+  });
+}
+
+Report run_all(const RunOptions& o) {
+  Report r;
+  char host[256] = "unknown";
+  if (gethostname(host, sizeof host - 1) != 0) {
+    std::strcpy(host, "unknown");
+  }
+  r.host = host;
+  if (o.verbose) {
+    std::printf("bench harness: %d warmup + %d measured reps, %d workers\n",
+                o.warmup, o.reps, o.workers);
+  }
+  for (BenchResult b : {run_runtime_micro(o), run_uts(o), run_smpi_msgrate(o)}) {
+    r.benchmarks[b.name] = std::move(b);
+  }
+  return r;
+}
+
+}  // namespace bench

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/place.h"
+#include "prof/prof.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
@@ -20,6 +21,7 @@ void bind_worker_thread(Runtime* rt, Worker* w) {
   tl_worker = w;
   tl_runtime = rt;
   support::trace::set_thread_ring(&w->trace_ring());
+  prof::register_thread(w->trace_name());
 }
 
 Worker* Runtime::current_worker() { return tl_worker; }
@@ -37,9 +39,25 @@ Runtime::Runtime(const RuntimeConfig& cfg) {
   places_->assign_workers(cfg.num_workers);
   producer_storage_.reserve(kMaxProducers);
   for (auto& w : workers_) w->start();
+  // Telemetry cadence gauge: per-worker deque depth plus the instance total.
+  // The callback only runs while prof::telemetry() is on; registration
+  // itself costs nothing on any hot path.
+  prof_sampler_id_ = prof::add_sampler([this] {
+    auto& reg = support::MetricsRegistry::global();
+    double total = 0;
+    for (const auto& w : workers_) {
+      double d = double(w->deque_depth());
+      total += d;
+      reg.histogram("sched.deque_depth").add(d);
+    }
+    reg.gauge("sched.deque_depth.total").set(total);
+  });
 }
 
 Runtime::~Runtime() {
+  // Detach the gauge callback before any member it reads goes away;
+  // remove_sampler blocks until an in-flight invocation returns.
+  prof::remove_sampler(prof_sampler_id_);
   stopping_.store(true, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lk(idle_mu_);
@@ -81,6 +99,7 @@ Worker* Runtime::register_producer() {
   tl_worker = w;
   tl_runtime = this;
   support::trace::set_thread_ring(&w->trace_ring());
+  prof::register_thread(w->trace_name());
   return w;
 }
 

@@ -153,6 +153,7 @@ class Runtime {
 
   std::mutex producer_mu_;
   int trace_pid_ = 0;
+  std::uint64_t prof_sampler_id_ = 0;  // telemetry deque-depth gauge
 };
 
 }  // namespace hc

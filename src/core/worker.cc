@@ -32,12 +32,16 @@ void Worker::push(Task* t) {
   // push() is only ever called by this worker's bound thread (schedule()
   // routes through tl_worker), so recording here keeps the ring SPSC.
   trace_ring_.record(support::trace::Ev::kTaskSpawn, std::uint32_t(id_));
+  prof::ScopedState ps(prof::State::kDequeOp);
   deque_.push(t);
 }
 
 Task* Worker::try_get_task() {
   // 1. Own deque (LIFO end: locality, as in the paper's runtime).
-  if (auto t = deque_.pop()) return *t;
+  {
+    prof::ScopedState ps(prof::State::kDequeOp);
+    if (auto t = deque_.pop()) return *t;
+  }
 
   // 2. Place queues along this worker's leaf-to-root path (HPT heuristics;
   //    a depth-0 tree makes this a single root-queue check).
@@ -54,6 +58,9 @@ Task* Worker::try_get_task() {
   int slots = rt_.total_slots();
   if (slots > 1) {
     trace_ring_.record(support::trace::Ev::kStealAttempt, std::uint32_t(id_));
+    prof::ScopedState ps(prof::State::kStealAttempt);
+    const bool tel = prof::telemetry();
+    std::uint64_t t0 = tel ? support::trace::now_ns() : 0;
     int start = int(rng_.next_below(std::uint64_t(slots)));
     for (int k = 0; k < slots; ++k) {
       int v = (start + k) % slots;
@@ -65,6 +72,11 @@ Task* Worker::try_get_task() {
         bump(steals_);
         trace_ring_.record(support::trace::Ev::kStealSuccess,
                            std::uint32_t(v));
+        // Latency of the successful scan only: from scan start to the task
+        // in hand — the cost a victim's work pays to migrate.
+        if (tel)
+          prof::steal_latency_hist().add(
+              double(support::trace::now_ns() - t0));
         return t;
       }
     }
@@ -101,10 +113,12 @@ void Worker::main_loop(std::stop_token st) {
       // Park span: the gap the paper's "computation workers never block in
       // MPI" claim is about — visible idle time, not hidden in MPI_Wait.
       trace_ring_.record(support::trace::Ev::kIdleBegin, std::uint32_t(id_));
+      prof::ScopedState ps(prof::State::kIdle);
       rt_.idle_wait();
       trace_ring_.record(support::trace::Ev::kIdleEnd, std::uint32_t(id_));
     }
   }
+  prof::unregister_thread();
 }
 
 }  // namespace hc

@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "core/task.h"
+#include "prof/prof.h"
 #include "support/chase_lev_deque.h"
 #include "support/rng.h"
 #include "support/trace.h"
@@ -55,7 +56,14 @@ class Worker {
   void execute(Task* t) {
     bump(tasks_executed_);
     trace_ring_.record(support::trace::Ev::kTaskStart, std::uint32_t(id_));
-    run_task(t);
+    const bool tel = prof::telemetry();
+    std::uint64_t t0 = tel ? support::trace::now_ns() : 0;
+    {
+      prof::ScopedState body(prof::State::kTaskBody);
+      run_task(t);
+    }
+    if (tel)
+      prof::task_granularity_hist().add(double(support::trace::now_ns() - t0));
     trace_ring_.record(support::trace::Ev::kTaskEnd, std::uint32_t(id_));
   }
 
@@ -75,6 +83,9 @@ class Worker {
   std::uint64_t failed_steal_rounds() const {
     return failed_steal_rounds_.load(std::memory_order_relaxed);
   }
+
+  // Racy size estimate of the deque, for the telemetry depth gauge.
+  std::size_t deque_depth() const { return deque_.size_approx(); }
 
   // This worker's trace event ring. The producer is the bound OS thread
   // (the worker's own thread, or the registered external thread for

@@ -1,8 +1,10 @@
 #include "dddf/am_transport.h"
 
 #include "fault/fault.h"
+#include "prof/prof.h"
 #include "support/metrics.h"
 #include "support/spin.h"
+#include "support/trace.h"
 
 namespace dddf {
 
@@ -59,6 +61,7 @@ void AmTransport::transmit(int to, const AmBus::Msg& msg) {
 }
 
 void AmTransport::send_protocol(int to, AmBus::Msg msg) {
+  if (prof::telemetry()) msg.ts_inject = support::trace::now_ns();
   if (!fault::enabled()) {
     deliver(to, std::move(msg));
     return;
@@ -160,6 +163,15 @@ void AmTransport::progress_loop(std::stop_token) {
       // transport's constructor) and Space::bind() publishing the handlers.
       support::Backoff bind_wait;
       while (!handlers_bound()) bind_wait.pause();
+    }
+    if (msg.ts_inject != 0 && (msg.kind == AmBus::Msg::Kind::kRegister ||
+                               msg.kind == AmBus::Msg::Kind::kData)) {
+      // Injection-to-dispatch latency of a protocol message that survived
+      // dedup; includes any retransmission rounds under fault injection.
+      static auto& h = support::MetricsRegistry::global().histogram(
+          "am.delivery_latency_ns");
+      std::uint64_t now = support::trace::now_ns();
+      if (now >= msg.ts_inject) h.add(double(now - msg.ts_inject));
     }
     switch (msg.kind) {
       case AmBus::Msg::Kind::kRegister:

@@ -54,6 +54,11 @@ class AmBus {
     bool reliable = false;
     int src = -1;
     std::uint64_t seq = 0;
+
+    // Injection timestamp (trace epoch ns), stamped only while prof
+    // telemetry is on. Retransmits carry the original stamp, so the
+    // dispatch-side latency histogram includes retry time.
+    std::uint64_t ts_inject = 0;
   };
 
   struct Mailbox {

@@ -13,6 +13,7 @@
 
 #include "fault/fault.h"
 #include "hcmpi/context.h"
+#include "prof/prof.h"
 
 namespace hcmpi {
 
@@ -178,6 +179,7 @@ RequestHandle Context::submit_nb_allreduce(const void* in, void* out,
 void Context::comm_worker_main() {
   hc::Worker* self = runtime_->register_producer();
   self->set_trace_name("comm-worker");
+  prof::rename_thread("comm-worker");
   // hc-check: flags this thread so blocking HCMPI calls issued from comm
   // tasks (kExec closures, pollers) are rejected as guaranteed deadlocks.
   hc::check::enter_comm_worker();
@@ -266,7 +268,7 @@ void Context::comm_worker_main() {
   // The PRESCRIBED -> ACTIVE transition of Fig. 10: timestamped and
   // ring-recorded on the communication worker, which drives it.
   auto mark_active = [&](CommTask* t) {
-    if (support::trace::enabled()) {
+    if (support::trace::enabled() || prof::telemetry()) {
       t->ts_active = support::trace::now_ns();
       self->trace_ring().record(support::trace::Ev::kCommActive, t->slot_id,
                                 t->gen.load(std::memory_order_relaxed));
@@ -274,7 +276,16 @@ void Context::comm_worker_main() {
     transition(*t, CommTaskState::kActive);
   };
 
+  // Profiler state register: the whole progress loop is "comm progress".
+  // Re-armed lazily so profiling enabled after thread start still attributes
+  // this thread (one relaxed load per iteration until then).
+  bool prof_bound = false;
+
   for (;;) {
+    if (!prof_bound && prof::enabled()) {
+      prof::enter_state(prof::State::kCommProgress);
+      prof_bound = true;
+    }
     bool progress = false;
     comm_counters_.loop_iterations.fetch_add(1, std::memory_order_relaxed);
 
@@ -500,6 +511,7 @@ void Context::comm_worker_main() {
       complete_p2p(t);
     }
   }
+  prof::unregister_thread();
 }
 
 }  // namespace hcmpi

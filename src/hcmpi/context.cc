@@ -1,5 +1,6 @@
 #include "hcmpi/context.h"
 
+#include "prof/prof.h"
 #include "support/spin.h"
 
 namespace hcmpi {
@@ -22,9 +23,19 @@ Context::Context(smpi::Comm comm, const ContextConfig& cfg)
   runtime_ = std::make_unique<hc::Runtime>(rc);
   runtime_->set_trace_pid(comm_.rank());  // one Chrome-trace pid per rank
   comm_thread_ = std::jthread([this] { comm_worker_main(); });
+  // Telemetry cadence gauge: communication tasks outstanding (allocated but
+  // not yet recycled) — derived from pool bookkeeping, so the comm worker's
+  // hot path pays nothing for it.
+  prof_sampler_id_ = prof::add_sampler([this] {
+    double depth = double(outstanding_tasks());
+    auto& reg = support::MetricsRegistry::global();
+    reg.gauge("hcmpi.comm_queue_depth").set(depth);
+    reg.histogram("hcmpi.comm_queue_depth").add(depth);
+  });
 }
 
 Context::~Context() {
+  prof::remove_sampler(prof_sampler_id_);
   CommTask* t = allocate_task();
   t->kind = CommKind::kShutdown;
   submit(t);
@@ -49,6 +60,14 @@ void Context::export_metrics(support::MetricsRegistry& reg) const {
   reg.counter("hcmpi.collectives_executed")
       .add(comm_counters_.collectives.load(std::memory_order_relaxed));
   reg.histogram("hcmpi.comm_task_latency_ns").merge(lifecycle_latency_ns_);
+  reg.histogram("hcmpi.inject_to_wire_ns").merge(inject_to_wire_ns_);
+  reg.histogram("hcmpi.wire_to_completion_ns").merge(wire_to_completion_ns_);
+}
+
+std::uint64_t Context::outstanding_tasks() const {
+  std::lock_guard<support::SpinLock> lk(
+      const_cast<support::SpinLock&>(pool_mu_));
+  return all_tasks_.size() - pool_.size();
 }
 
 CommTask* Context::allocate_task() {
@@ -69,9 +88,11 @@ CommTask* Context::allocate_task() {
     t->slot_id = std::uint32_t(all_tasks_.size());
     all_tasks_.push_back(std::move(owned));
   }
-  if (support::trace::enabled()) {
+  if (support::trace::enabled() || prof::telemetry()) {
     t->ts_allocated = support::trace::now_ns();
     if (auto* ring = cur_ring()) {
+      // record() is itself gated on the trace flag; telemetry alone stamps
+      // the timestamps without ring traffic.
       ring->record(support::trace::Ev::kCommAllocated, t->slot_id,
                    t->gen.load(std::memory_order_relaxed));
     }
@@ -109,7 +130,7 @@ std::uint64_t Context::pool_size() const {
 
 void Context::submit(CommTask* t) {
   comm_counters_.tasks_submitted.fetch_add(1, std::memory_order_relaxed);
-  if (support::trace::enabled()) {
+  if (support::trace::enabled() || prof::telemetry()) {
     t->ts_prescribed = support::trace::now_ns();
     if (auto* ring = cur_ring()) {
       ring->record(support::trace::Ev::kCommPrescribed, t->slot_id,
@@ -159,7 +180,7 @@ void Context::clear_poller() {
 }
 
 void Context::complete_task(CommTask* t, const Status& st) {
-  if (support::trace::enabled()) {
+  if (support::trace::enabled() || prof::telemetry()) {
     t->ts_completed = support::trace::now_ns();
     if (auto* ring = cur_ring()) {
       ring->record(support::trace::Ev::kCommCompleted, t->slot_id,
@@ -167,6 +188,14 @@ void Context::complete_task(CommTask* t, const Status& st) {
     }
     if (t->ts_prescribed != 0 && t->ts_completed >= t->ts_prescribed) {
       lifecycle_latency_ns_.add(double(t->ts_completed - t->ts_prescribed));
+      // Split at the PRESCRIBED -> ACTIVE transition: injection-to-wire is
+      // the worklist hand-off to the communication worker; wire-to-completion
+      // is the time the operation itself was in flight.
+      if (t->ts_active >= t->ts_prescribed &&
+          t->ts_completed >= t->ts_active && t->ts_active != 0) {
+        inject_to_wire_ns_.add(double(t->ts_active - t->ts_prescribed));
+        wire_to_completion_ns_.add(double(t->ts_completed - t->ts_active));
+      }
     }
   }
   transition(*t, CommTaskState::kCompleted);

@@ -134,6 +134,9 @@ class Context {
 
   // Lifecycle observability for tests (counts recycled slots).
   std::uint64_t pool_size() const;
+  // Communication tasks currently allocated and not yet recycled — the
+  // comm-queue depth the telemetry gauge samples.
+  std::uint64_t outstanding_tasks() const;
   std::uint64_t tasks_recycled() const {
     return recycled_.load(std::memory_order_relaxed);
   }
@@ -187,6 +190,11 @@ class Context {
 
   CommCounters comm_counters_;
   support::MetricsRegistry::Histogram lifecycle_latency_ns_;
+  // Lifecycle split at the PRESCRIBED -> ACTIVE edge (sampled while tracing
+  // or prof telemetry is on).
+  support::MetricsRegistry::Histogram inject_to_wire_ns_;
+  support::MetricsRegistry::Histogram wire_to_completion_ns_;
+  std::uint64_t prof_sampler_id_ = 0;  // comm-queue-depth gauge
 
   std::jthread comm_thread_;
 };

@@ -1,0 +1,209 @@
+// hc-prof: sampling profiler and scheduler/comm performance telemetry.
+//
+// Three cooperating pieces, all compiled in unconditionally and off by
+// default:
+//
+//   1. A *state register*: each runtime thread registers a ThreadProfile and
+//      publishes what it is doing right now (task body, deque op, steal
+//      attempt, comm progress, idle) through a relaxed thread-local store.
+//      Hooks sit at the existing trace points; when profiling is disabled a
+//      hook costs exactly one relaxed load of the global gate, and when
+//      enabled a state switch is two relaxed byte ops — never a clock read.
+//
+//   2. A *sampling profiler* (--prof-hz=N): per-thread POSIX CPU-time timers
+//      deliver SIGPROF to each registered thread; the handler attributes the
+//      sample to the thread's current state with one relaxed fetch_add (the
+//      only thing it does — async-signal-safe by construction). A portable
+//      wall-clock sampler thread is the fallback when per-thread timers are
+//      unavailable (--prof-mode=thread). Results export as collapsed stacks
+//      or speedscope JSON for flamegraphs.
+//
+//   3. *Telemetry* (--prof-telemetry): a cadence thread samples registered
+//      gauge callbacks (deque depth, comm-queue depth), and hot paths that
+//      check prof::telemetry() feed steal-latency / task-granularity /
+//      injection-to-completion histograms into the metrics registry.
+//
+// Signal-safety rules for the SIGPROF handler (see DESIGN.md §7): it may
+// only read the thread-local ThreadProfile pointer and perform relaxed
+// atomic loads/stores on it. No allocation, no locks, no clock reads, no
+// registry lookups.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/metrics.h"
+
+namespace prof {
+
+// --- runtime states ----------------------------------------------------------
+
+enum class State : std::uint8_t {
+  kUnattributed = 0,  // registered but outside any instrumented region
+  kTaskBody,          // executing a user task body
+  kDequeOp,           // own-deque push/pop bookkeeping
+  kStealAttempt,      // scanning victims / place queues for work
+  kCommProgress,      // communication-worker progress loop
+  kIdle,              // parked waiting for work
+};
+inline constexpr int kNumStates = 6;
+const char* state_name(State s);
+
+// --- global gates ------------------------------------------------------------
+
+namespace detail {
+extern std::atomic<bool> g_enabled;    // state register + sampling active
+extern std::atomic<bool> g_telemetry;  // histogram/gauge telemetry active
+}  // namespace detail
+
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+inline bool telemetry() {
+  return detail::g_telemetry.load(std::memory_order_relaxed);
+}
+
+// Enables/disables the state register without starting a sampler (tests use
+// this with sample_all() for deterministic attribution checks). start()/stop()
+// call it internally.
+void set_enabled(bool on);
+
+// Enables/disables telemetry; spins up (or lets exit) the cadence thread that
+// services gauge samplers.
+void set_telemetry(bool on);
+
+// --- per-thread profile ------------------------------------------------------
+
+struct ThreadProfile {
+  std::string name;                  // "worker-0", "comm-worker", ...
+  std::atomic<std::uint8_t> state{0};
+  // Written by the SIGPROF handler / sampler thread; read by exporters.
+  std::array<std::atomic<std::uint64_t>, kNumStates> samples{};
+  std::atomic<bool> live{true};
+
+  // Sampler plumbing (guarded by the registry mutex).
+  std::int64_t tid = 0;       // kernel thread id (Linux) for SIGEV_THREAD_ID
+  void* timer = nullptr;      // timer_t when a per-thread timer is armed
+  bool timer_armed = false;
+};
+
+// Registers the calling thread under `name` (idempotent: re-registering
+// renames). While a signal-mode sampler is running, arms this thread's timer.
+void register_thread(const std::string& name);
+void rename_thread(const std::string& name);
+// Flushes the time accumulator, disarms the timer and marks the profile dead.
+// The profile's counters remain visible to report()/export until reset().
+void unregister_thread();
+// The calling thread's profile, or nullptr when unregistered.
+ThreadProfile* thread_profile();
+
+// --- state register ----------------------------------------------------------
+
+// Switches the calling thread's state; returns the previous state. No-op
+// (returning `s`) on unregistered threads. Two relaxed byte operations — no
+// clock read, so time-in-state is derived from sample counts x the sampling
+// period, never measured at transition points (that would make state
+// switches ~20x more expensive and distort exactly the fine-grained task
+// workloads worth profiling). Callers gate on enabled() first — that is
+// what ScopedState does.
+State enter_state(State s);
+
+// RAII state switch. Disabled cost: one relaxed load in the constructor,
+// one branch on a cached member in the destructor — no atomics.
+class ScopedState {
+ public:
+  explicit ScopedState(State s) {
+    if (!enabled()) return;
+    active_ = true;
+    prev_ = enter_state(s);
+  }
+  ~ScopedState() {
+    if (active_) enter_state(prev_);
+  }
+  ScopedState(const ScopedState&) = delete;
+  ScopedState& operator=(const ScopedState&) = delete;
+
+ private:
+  bool active_ = false;
+  State prev_ = State::kUnattributed;
+};
+
+// --- sampling profiler -------------------------------------------------------
+
+struct Config {
+  int hz = 997;            // prime, so samples do not beat with periodic work
+  bool use_signal = true;  // per-thread CPU-time timers; false = wall-clock
+                           // sampler thread (portable, test-deterministic)
+};
+
+// Starts sampling every registered thread. Returns false if already running.
+// Falls back to the sampler thread automatically when POSIX per-thread
+// timers are unavailable on this platform.
+bool start(const Config& cfg = {});
+void stop();
+bool running();
+
+// Takes one synchronous sample of every live registered thread (what the
+// sampler-thread mode does on each tick). Deterministic — tests drive it
+// directly with a known call count.
+void sample_all();
+
+// --- cadence gauge samplers --------------------------------------------------
+
+// Registers a callback the telemetry cadence thread invokes every
+// gauge-period while telemetry is on. Returns an id for remove_sampler.
+// remove_sampler blocks until any in-flight invocation has returned, so the
+// callback's captures may be destroyed immediately afterwards.
+std::uint64_t add_sampler(std::function<void()> fn);
+void remove_sampler(std::uint64_t id);
+void set_gauge_period_ms(int ms);  // default 10
+
+// --- cached hot-path histograms ---------------------------------------------
+// Registry lookups take a map lock; hot paths use these once-resolved
+// references instead. Only touched after a telemetry() check passes.
+
+support::MetricsRegistry::Histogram& steal_latency_hist();
+support::MetricsRegistry::Histogram& task_granularity_hist();
+
+// --- reporting & export ------------------------------------------------------
+
+struct ThreadReport {
+  std::string name;
+  bool live = false;
+  std::array<std::uint64_t, kNumStates> samples{};
+  std::uint64_t total_samples() const;
+};
+
+// One entry per registered profile (dead threads included), in registration
+// order.
+std::vector<ThreadReport> report();
+
+// Folds profiler results into a metrics registry: prof.samples.<state>
+// counters plus per-thread utilization histograms (prof.worker_task_pct,
+// prof.worker_idle_pct — one sample per thread that accrued time).
+void export_metrics(support::MetricsRegistry& reg);
+
+// "thread;state count\n" per (thread, state) with samples — feed directly to
+// flamegraph.pl or speedscope's collapsed-stack importer.
+std::string collapsed_stacks();
+
+// speedscope JSON file (https://www.speedscope.app/file-format-schema.json),
+// one sampled profile per thread.
+std::string speedscope_json();
+
+// Writes speedscope JSON when `path` ends in ".json", collapsed stacks
+// otherwise. False on I/O failure.
+bool write_report(const std::string& path);
+
+// Human-readable per-thread state breakdown (for stdout summaries).
+std::string summary();
+
+// Drops all profiles (live threads are unregistered implicitly — meant for
+// tests between scenarios, not while a sampler is running).
+void reset();
+
+}  // namespace prof

@@ -3,10 +3,38 @@
 #include <algorithm>
 #include <cstring>
 
+#include "support/metrics.h"
+#include "support/trace.h"
+
 namespace smpi {
+
+namespace {
+// Cached registry entries: the per-message cost while telemetry is on is
+// one histogram add, not a name lookup under the registry lock.
+support::MetricsRegistry::Histogram& inject_to_delivery_hist() {
+  static auto& h = support::MetricsRegistry::global().histogram(
+      "smpi.injection_to_delivery_ns");
+  return h;
+}
+support::MetricsRegistry::Histogram& inject_to_completion_hist() {
+  static auto& h = support::MetricsRegistry::global().histogram(
+      "smpi.injection_to_completion_ns");
+  return h;
+}
+support::MetricsRegistry::Counter& delivered_counter() {
+  static auto& c =
+      support::MetricsRegistry::global().counter("smpi.messages_delivered");
+  return c;
+}
+}  // namespace
 
 void Endpoint::complete_recv_locked(const Request& req, Envelope& env) {
   RequestState& r = *req;
+  if (env.ts_inject != 0) {
+    std::uint64_t now = support::trace::now_ns();
+    if (now >= env.ts_inject)
+      inject_to_completion_hist().add(double(now - env.ts_inject));
+  }
   std::size_t n = env.payload.size();
   r.status.source = env.source;
   r.status.tag = env.tag;
@@ -23,6 +51,12 @@ void Endpoint::deliver(Envelope&& env) {
   if (env.faulty &&
       !wire_seen_.emplace(env.wire_src, env.wire_seq).second) {
     return;  // retransmit or injected duplicate of an accepted message
+  }
+  if (env.ts_inject != 0) {
+    delivered_counter().add();
+    std::uint64_t now = support::trace::now_ns();
+    if (now >= env.ts_inject)
+      inject_to_delivery_hist().add(double(now - env.ts_inject));
   }
   for (auto it = posted_.begin(); it != posted_.end(); ++it) {
     if (matches(**it, env)) {

@@ -29,6 +29,11 @@ struct Envelope {
   bool faulty = false;
   int wire_src = -1;  // world rank of the sender
   std::uint64_t wire_seq = 0;
+
+  // Injection timestamp (trace epoch ns), stamped in isend only while prof
+  // telemetry is on; 0 otherwise. Feeds the injection-to-delivery and
+  // injection-to-completion latency histograms at the endpoint.
+  std::uint64_t ts_inject = 0;
 };
 
 class Endpoint {

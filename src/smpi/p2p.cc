@@ -4,8 +4,10 @@
 #include <thread>
 
 #include "fault/fault.h"
+#include "prof/prof.h"
 #include "smpi/comm.h"
 #include "smpi/world.h"
+#include "support/trace.h"
 
 namespace smpi {
 
@@ -58,6 +60,7 @@ Request Comm::isend(const void* buf, std::size_t bytes, int dest, int tag) {
   env.context = context_;
   env.payload.resize(bytes);
   if (bytes > 0) std::memcpy(env.payload.data(), buf, bytes);
+  if (prof::telemetry()) env.ts_inject = support::trace::now_ns();
   ErrorCode wire = wire_deliver(dest, std::move(env));
 
   // Eager/buffered mode: the payload is out of the user buffer, so the send

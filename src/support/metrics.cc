@@ -96,6 +96,100 @@ void MetricsRegistry::dump(std::FILE* f) const {
   std::fwrite(s.data(), 1, s.size(), f);
 }
 
+namespace {
+void json_escape(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x",
+                    unsigned{static_cast<unsigned char>(c)});
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+void append_num(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+}  // namespace
+
+std::string MetricsRegistry::dump_json() const {
+  std::vector<std::pair<std::string, const Counter*>> cs;
+  std::vector<std::pair<std::string, const Gauge*>> gs;
+  std::vector<std::pair<std::string, const Histogram*>> hs;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [n, c] : counters_) cs.emplace_back(n, c.get());
+    for (const auto& [n, g] : gauges_) gs.emplace_back(n, g.get());
+    for (const auto& [n, h] : histograms_) hs.emplace_back(n, h.get());
+  }
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [n, c] : cs) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    json_escape(out, n);
+    out += "\": " + std::to_string(c->value());
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [n, g] : gs) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    json_escape(out, n);
+    out += "\": ";
+    append_num(out, g->value());
+  }
+  out += "\n  },\n  \"hists\": {";
+  first = true;
+  for (const auto& [n, h] : hs) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    json_escape(out, n);
+    out += "\": {";
+    Stats s = h->stats();
+    auto field = [&](const char* k, double v, bool last = false) {
+      out += "\"";
+      out += k;
+      out += "\": ";
+      append_num(out, v);
+      if (!last) out += ", ";
+    };
+    field("count", double(s.count()));
+    field("mean", s.mean());
+    field("stddev", s.stddev());
+    field("min", s.min());
+    field("max", s.max());
+    field("sum", s.sum());
+    field("p50", h->percentile(50));
+    field("p90", h->percentile(90));
+    field("p95", h->percentile(95));
+    field("p99", h->percentile(99), /*last=*/true);
+    out += "}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  std::string body = dump_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  bool ok = n == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
 void MetricsRegistry::clear() {
   std::lock_guard<std::mutex> lk(mu_);
   counters_.clear();

@@ -89,6 +89,14 @@ class MetricsRegistry {
   std::string dump() const;
   void dump(std::FILE* f) const;
 
+  // Machine-readable export (--metrics-json): one JSON object with
+  // "counters" (name -> integer), "gauges" (name -> number) and "hists"
+  // (name -> {count, mean, stddev, min, max, sum, p50, p90, p95, p99}).
+  // The bench harness captures runtime counters through this instead of
+  // scraping the text dump.
+  std::string dump_json() const;
+  bool write_json(const std::string& path) const;
+
   void clear();
 
   // The process-wide instance runtimes export into at teardown.

@@ -1,32 +1,89 @@
-// RAII wiring of the --trace=<file> / --metrics flags for the bench and
-// example binaries: construct one Observe from the parsed Flags at the top
-// of main, and at scope exit it writes the Chrome trace (if requested) and
-// prints the metrics-registry block alongside the binary's own output.
+// RAII wiring of the shared observability flag set for every bench, example
+// and tool binary: construct one Observe from the parsed Flags at the top of
+// main, and at scope exit it writes the requested artifacts alongside the
+// binary's own output.
+//
+// Registered flags (the single source of truth — bench_util.h's Session and
+// the examples all route through here):
+//
+//   --trace=<file>         Chrome-trace JSON of the run
+//   --metrics              human-readable metrics-registry dump on stdout
+//   --metrics-json=<file>  machine-readable metrics-registry export
+//   --fault-*              hc-fault injection knobs (see fault/fault.h)
+//   --prof-hz=<N>          sampling profiler at N Hz (997 when =0 given)
+//   --prof-out=<file>      profiler report: speedscope JSON (.json) or
+//                          collapsed stacks (anything else)
+//   --prof-mode=signal|thread  per-thread SIGPROF timers (default) or the
+//                          portable wall-clock sampler thread
+//   --prof-telemetry       scheduler/comm telemetry histograms and cadence
+//                          gauges (independent of --prof-hz: costs a clock
+//                          read + histogram insert per coarse event)
 #pragma once
 
 #include <cstdio>
 #include <string>
 
 #include "fault/fault.h"
+#include "prof/prof.h"
 #include "support/flags.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
 namespace support {
 
+// True for argv entries Observe/Flags own (--name or --name=value forms).
+// Binaries that mix our flags with another parser's (google-benchmark)
+// partition argv with this; such flags must use the --name=value form.
+inline bool is_observability_flag(const char* arg) {
+  const std::string a = arg;
+  if (a.rfind("--", 0) != 0) return false;
+  const std::string body = a.substr(2, a.find('=') - 2);
+  return body == "trace" || body == "metrics" || body == "metrics-json" ||
+         body.rfind("fault-", 0) == 0 || body.rfind("prof-", 0) == 0;
+}
+
 class Observe {
  public:
   explicit Observe(const Flags& flags)
       : trace_path_(flags.get("trace", "")),
-        metrics_(flags.get_bool("metrics", false)) {
+        metrics_(flags.get_bool("metrics", false)),
+        metrics_json_path_(flags.get("metrics-json", "")),
+        prof_out_(flags.get("prof-out", "")) {
     if (!trace_path_.empty()) {
       trace::Collector::global().clear();
       trace::set_enabled(true);
     }
     fault::configure(flags);  // --fault-* knobs (no-ops when absent)
+
+    int hz = int(flags.get_int("prof-hz", 0));
+    telemetry_ = flags.get_bool("prof-telemetry", false);
+    if (hz > 0 || !prof_out_.empty()) {
+      prof::Config cfg;
+      cfg.hz = hz > 0 ? hz : 997;
+      cfg.use_signal = flags.get("prof-mode", "signal") != "thread";
+      prof_started_ = prof::start(cfg);
+      // Deliberately does NOT imply --prof-telemetry: sampling alone stays
+      // inside the 5% overhead budget; telemetry's per-event histogram
+      // inserts do not, so combining them is an explicit choice.
+    }
+    if (telemetry_) prof::set_telemetry(true);
   }
 
   ~Observe() {
+    if (prof_started_) {
+      prof::stop();
+      prof::export_metrics(MetricsRegistry::global());
+      std::string s = prof::summary();
+      if (!s.empty()) std::printf("\n-- prof samples --\n%s", s.c_str());
+    }
+    if (!prof_out_.empty()) {
+      if (prof::write_report(prof_out_)) {
+        std::printf("prof: wrote %s\n", prof_out_.c_str());
+      } else {
+        std::fprintf(stderr, "prof: failed to write %s\n", prof_out_.c_str());
+      }
+    }
+    if (telemetry_) prof::set_telemetry(false);
     if (!trace_path_.empty()) {
       trace::set_enabled(false);
       if (trace::write_chrome_trace(trace_path_)) {
@@ -37,10 +94,24 @@ class Observe {
         std::fprintf(stderr, "trace: failed to write %s\n",
                      trace_path_.c_str());
       }
+      std::uint64_t dropped =
+          MetricsRegistry::global().counter_value("trace.dropped");
+      if (dropped > 0) {
+        std::fprintf(stderr,
+                     "trace: WARNING %llu event(s) overwritten by full rings "
+                     "(raise the ring capacity to avoid truncation)\n",
+                     (unsigned long long)dropped);
+      }
     }
     if (metrics_) {
       std::printf("\n-- metrics registry --\n");
       MetricsRegistry::global().dump(stdout);
+    }
+    if (!metrics_json_path_.empty()) {
+      if (!MetricsRegistry::global().write_json(metrics_json_path_)) {
+        std::fprintf(stderr, "metrics: failed to write %s\n",
+                     metrics_json_path_.c_str());
+      }
     }
   }
 
@@ -49,11 +120,19 @@ class Observe {
 
   bool tracing() const { return !trace_path_.empty(); }
   bool metrics() const { return metrics_; }
-  bool active() const { return tracing() || metrics_; }
+  bool profiling() const { return prof_started_; }
+  bool active() const {
+    return tracing() || metrics_ || !metrics_json_path_.empty() ||
+           prof_started_ || telemetry_;
+  }
 
  private:
   std::string trace_path_;
   bool metrics_;
+  std::string metrics_json_path_;
+  std::string prof_out_;
+  bool prof_started_ = false;
+  bool telemetry_ = false;
 };
 
 }  // namespace support

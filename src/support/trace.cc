@@ -1,5 +1,7 @@
 #include "support/trace.h"
 
+#include "support/metrics.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cinttypes>
@@ -103,6 +105,13 @@ Ring::Ring(std::size_t capacity_pow2)
 void Ring::emit(Ev kind, std::uint64_t ts_ns, std::uint32_t a,
                 std::uint64_t b) {
   std::uint64_t h = head_.load(std::memory_order_relaxed);
+  if (h > mask_) {
+    // Full ring: this append overwrites the oldest unexported event. Count
+    // it process-wide so truncated traces are detectable from --metrics.
+    static auto& dropped =
+        MetricsRegistry::global().counter("trace.dropped");
+    dropped.add();
+  }
   // Claim event h before touching its slot; the release fence orders the
   // claim ahead of the slot stores, so any reader that observes a partially
   // overwritten slot also observes the claim and discards the slot.
@@ -239,6 +248,15 @@ std::string chrome_trace_json() {
            "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":%d,\"tid\":%d,"
            "\"args\":{\"name\":\"%s\"}}",
            t.pid, t.tid, t.name.c_str());
+    if (t.dropped > 0) {
+      // Truncation marker: this ring wrapped and overwrote `dropped` events
+      // before the flush — the track's earliest events are missing.
+      sep();
+      append(out,
+             "{\"ph\":\"M\",\"name\":\"trace_ring_dropped\",\"pid\":%d,"
+             "\"tid\":%d,\"args\":{\"dropped\":%" PRIu64 "}}",
+             t.pid, t.tid, t.dropped);
+    }
   }
 
   // Per-track duration/instant events. B/E pairs nest naturally (help-first

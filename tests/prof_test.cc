@@ -1,0 +1,378 @@
+// hc-prof tests: deterministic state attribution, histogram merge across
+// workers/ranks, the canonical BENCH report round-trip and the bench_compare
+// verdicts, plus the trace.dropped overflow counter.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "prof/prof.h"
+#include "support/metrics.h"
+#include "support/observe.h"
+#include "support/trace.h"
+
+namespace {
+
+// Restores the prof gates around each scenario so tests compose.
+struct ProfGuard {
+  ~ProfGuard() {
+    prof::set_enabled(false);
+    prof::set_telemetry(false);
+    prof::reset();
+  }
+};
+
+TEST(ProfState, DeterministicAttribution) {
+  ProfGuard guard;
+  prof::reset();
+  prof::set_enabled(true);
+  prof::register_thread("attr-test");
+
+  prof::enter_state(prof::State::kTaskBody);
+  for (int i = 0; i < 5; ++i) prof::sample_all();
+  prof::enter_state(prof::State::kStealAttempt);
+  for (int i = 0; i < 3; ++i) prof::sample_all();
+  prof::enter_state(prof::State::kIdle);
+  for (int i = 0; i < 2; ++i) prof::sample_all();
+  prof::enter_state(prof::State::kUnattributed);
+
+  auto reports = prof::report();
+  const prof::ThreadReport* mine = nullptr;
+  for (const auto& r : reports) {
+    if (r.name == "attr-test") mine = &r;
+  }
+  ASSERT_NE(mine, nullptr);
+  EXPECT_EQ(mine->samples[int(prof::State::kTaskBody)], 5u);
+  EXPECT_EQ(mine->samples[int(prof::State::kStealAttempt)], 3u);
+  EXPECT_EQ(mine->samples[int(prof::State::kIdle)], 2u);
+  EXPECT_EQ(mine->total_samples(), 10u);
+
+  prof::unregister_thread();
+}
+
+TEST(ProfState, ScopedStateNestsAndRestores) {
+  ProfGuard guard;
+  prof::reset();
+  prof::set_enabled(true);
+  prof::register_thread("scoped-test");
+
+  prof::enter_state(prof::State::kTaskBody);
+  {
+    prof::ScopedState steal(prof::State::kStealAttempt);
+    prof::sample_all();
+    {
+      prof::ScopedState deque(prof::State::kDequeOp);
+      prof::sample_all();
+    }
+    prof::sample_all();  // back to steal after the inner scope
+  }
+  prof::sample_all();  // back to task body
+
+  auto* p = prof::thread_profile();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->samples[int(prof::State::kStealAttempt)].load(), 2u);
+  EXPECT_EQ(p->samples[int(prof::State::kDequeOp)].load(), 1u);
+  EXPECT_EQ(p->samples[int(prof::State::kTaskBody)].load(), 1u);
+
+  prof::unregister_thread();
+}
+
+TEST(ProfState, DisabledHooksAreNoOps) {
+  ProfGuard guard;
+  prof::reset();
+  prof::set_enabled(false);
+  prof::register_thread("disabled-test");
+  {
+    prof::ScopedState s(prof::State::kTaskBody);  // gate off: no transition
+  }
+  prof::sample_all();  // samples only live profiles; state stays 0
+  auto* p = prof::thread_profile();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->samples[int(prof::State::kTaskBody)].load(), 0u);
+  EXPECT_EQ(p->samples[int(prof::State::kUnattributed)].load(), 1u);
+  prof::unregister_thread();
+}
+
+TEST(ProfState, ExportAndFlamegraphFormats) {
+  ProfGuard guard;
+  prof::reset();
+  prof::set_enabled(true);
+  prof::register_thread("export-test");
+  prof::enter_state(prof::State::kTaskBody);
+  for (int i = 0; i < 4; ++i) prof::sample_all();
+  prof::enter_state(prof::State::kUnattributed);
+
+  std::string collapsed = prof::collapsed_stacks();
+  EXPECT_NE(collapsed.find("export-test;task body 4"), std::string::npos)
+      << collapsed;
+
+  std::string speedscope = prof::speedscope_json();
+  EXPECT_NE(speedscope.find("\"$schema\""), std::string::npos);
+  EXPECT_NE(speedscope.find("export-test"), std::string::npos);
+  EXPECT_NE(speedscope.find("\"type\":\"sampled\""), std::string::npos);
+
+  support::MetricsRegistry reg;
+  prof::export_metrics(reg);
+  EXPECT_EQ(reg.counter_value("prof.samples.task_body"), 4u);
+
+  prof::unregister_thread();
+}
+
+TEST(ProfSampler, ThreadModeCollectsSamples) {
+  ProfGuard guard;
+  prof::reset();
+  prof::register_thread("sampled-main");
+  ASSERT_TRUE(prof::start({.hz = 500, .use_signal = false}));
+  EXPECT_TRUE(prof::running());
+  EXPECT_FALSE(prof::start({}));  // already running
+
+  prof::enter_state(prof::State::kTaskBody);
+  volatile long acc = 0;
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(200);
+  std::uint64_t have = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (int k = 0; k < 100000; ++k) acc = acc + k;
+    have = prof::thread_profile()->samples[int(prof::State::kTaskBody)].load();
+    if (have > 3) break;
+  }
+  prof::stop();
+  EXPECT_FALSE(prof::running());
+  EXPECT_GT(have, 0u);
+  prof::unregister_thread();
+}
+
+// Histogram merge: per-worker / per-rank registries fold into one and the
+// percentiles reflect the union of the sample sets.
+TEST(Metrics, HistogramMergeAcrossWorkersAndRanks) {
+  support::MetricsRegistry rank0, rank1, merged;
+  // rank0's two workers see 1..100, rank1's worker sees 1001..1100.
+  for (int i = 1; i <= 50; ++i) rank0.histogram("lat").add(i);
+  for (int i = 51; i <= 100; ++i) rank0.histogram("lat").add(i);
+  for (int i = 1001; i <= 1100; ++i) rank1.histogram("lat").add(i);
+
+  merged.merge(rank0);
+  merged.merge(rank1);
+
+  auto stats = merged.histogram("lat").stats();
+  EXPECT_EQ(stats.count(), 200u);
+  EXPECT_EQ(stats.min(), 1);
+  EXPECT_EQ(stats.max(), 1100);
+  // Median straddles the two populations; p90 lands in rank1's range.
+  double p50 = merged.histogram("lat").percentile(50);
+  EXPECT_GE(p50, 100);
+  EXPECT_LE(p50, 1001);
+  EXPECT_GE(merged.histogram("lat").percentile(90), 1050);
+  // Counters add across ranks.
+  rank0.counter("msgs").add(7);
+  rank1.counter("msgs").add(5);
+  merged.merge(rank0);
+  merged.merge(rank1);
+  EXPECT_EQ(merged.counter_value("msgs"), 12u);
+}
+
+TEST(Metrics, DumpJsonParsesBack) {
+  support::MetricsRegistry reg;
+  reg.counter("a.count").add(3);
+  reg.gauge("b.depth").set(2.5);
+  for (int i = 1; i <= 100; ++i) reg.histogram("c.lat").add(i);
+
+  bench::Json root;
+  std::string err;
+  ASSERT_TRUE(bench::Json::parse(reg.dump_json(), &root, &err)) << err;
+  EXPECT_EQ(root.find("counters")->num_or("a.count", -1), 3);
+  EXPECT_EQ(root.find("gauges")->num_or("b.depth", -1), 2.5);
+  const bench::Json* hist = root.find("hists")->find("c.lat");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->num_or("count", -1), 100);
+  EXPECT_EQ(hist->num_or("sum", -1), 5050);
+}
+
+TEST(BenchJson, ParserRejectsMalformed) {
+  bench::Json out;
+  std::string err;
+  EXPECT_FALSE(bench::Json::parse("{\"a\": }", &out, &err));
+  EXPECT_FALSE(bench::Json::parse("[1, 2", &out, &err));
+  EXPECT_FALSE(bench::Json::parse("{\"a\": 1} trailing", &out, &err));
+  EXPECT_TRUE(bench::Json::parse(
+      "{\"s\": \"q\\\"\\n\\u0041\", \"n\": [1, -2.5e3, true, null]}", &out,
+      &err)) << err;
+  EXPECT_EQ(out.find("s")->str, "q\"\nA");
+  EXPECT_EQ(out.find("n")->arr[1].num, -2500);
+}
+
+TEST(BenchReport, SummarizeQuartiles) {
+  auto m = bench::summarize({5, 1, 3, 2, 4}, "x/s", true);
+  EXPECT_EQ(m.median, 3);
+  EXPECT_EQ(m.p25, 2);
+  EXPECT_EQ(m.p75, 4);
+  EXPECT_EQ(m.min, 1);
+  EXPECT_EQ(m.max, 5);
+  EXPECT_EQ(m.reps, 5);
+  EXPECT_EQ(m.iqr(), 2);
+}
+
+bench::Report make_report(double tasks_per_sec, double latency_ns) {
+  bench::Report r;
+  r.host = "test";
+  bench::BenchResult b;
+  b.name = "runtime_micro";
+  b.metrics["tasks_per_sec"] =
+      bench::summarize({tasks_per_sec, tasks_per_sec, tasks_per_sec},
+                       "tasks/s", /*higher_is_better=*/true);
+  auto lat = bench::summarize({latency_ns}, "ns", false);
+  b.metrics["steal_latency_ns"] = lat;
+  b.counters["hc.steals"] = 123;
+  r.benchmarks["runtime_micro"] = b;
+  return r;
+}
+
+TEST(BenchReport, JsonRoundTrip) {
+  bench::Report r = make_report(1e6, 250);
+  std::string text = bench::to_json(r);
+  bench::Report back;
+  std::string err;
+  ASSERT_TRUE(bench::from_json(text, &back, &err)) << err;
+  EXPECT_EQ(back.schema, "hcmpi-bench/1");
+  EXPECT_EQ(back.pr, 6);
+  EXPECT_EQ(back.host, "test");
+  ASSERT_EQ(back.benchmarks.count("runtime_micro"), 1u);
+  const auto& b = back.benchmarks.at("runtime_micro");
+  const auto& m = b.metrics.at("tasks_per_sec");
+  EXPECT_EQ(m.median, 1e6);
+  EXPECT_EQ(m.reps, 3);
+  EXPECT_EQ(m.unit, "tasks/s");
+  EXPECT_TRUE(m.higher_is_better);
+  EXPECT_FALSE(b.metrics.at("steal_latency_ns").higher_is_better);
+  EXPECT_EQ(b.counters.at("hc.steals"), 123);
+  // A second round trip is byte-identical (stable key order).
+  EXPECT_EQ(bench::to_json(back), text);
+}
+
+TEST(BenchReport, FileRoundTrip) {
+  bench::Report r = make_report(2e6, 100);
+  std::string path = testing::TempDir() + "/bench_roundtrip.json";
+  ASSERT_TRUE(bench::write_report(r, path));
+  bench::Report back;
+  std::string err;
+  ASSERT_TRUE(bench::read_report(path, &back, &err)) << err;
+  EXPECT_EQ(back.benchmarks.at("runtime_micro").metrics.at("tasks_per_sec")
+                .median,
+            2e6);
+  std::remove(path.c_str());
+}
+
+TEST(BenchCompare, IdenticalReportsPass) {
+  bench::Report r = make_report(1e6, 250);
+  auto res = bench::compare(r, r);
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.regressions.size(), 0u);
+  EXPECT_FALSE(res.notes.empty());
+}
+
+TEST(BenchCompare, TenPercentSlowdownFails) {
+  bench::Report base = make_report(1e6, 250);
+  // 15% throughput drop: past the 10% gate on a higher-is-better metric.
+  bench::Report cand = make_report(0.85e6, 250);
+  auto res = bench::compare(base, cand);
+  ASSERT_EQ(res.regressions.size(), 1u);
+  EXPECT_EQ(res.regressions[0].bench, "runtime_micro");
+  EXPECT_EQ(res.regressions[0].metric, "tasks_per_sec");
+  EXPECT_NEAR(res.regressions[0].change, 0.15, 1e-9);
+}
+
+TEST(BenchCompare, LowerIsBetterDirection) {
+  bench::Report base = make_report(1e6, 250);
+  bench::Report faster = make_report(1e6, 200);   // latency down: fine
+  bench::Report slower = make_report(1e6, 300);   // latency up 20%: fails
+  EXPECT_TRUE(bench::compare(base, faster).ok());
+  auto res = bench::compare(base, slower);
+  ASSERT_EQ(res.regressions.size(), 1u);
+  EXPECT_EQ(res.regressions[0].metric, "steal_latency_ns");
+}
+
+TEST(BenchCompare, WithinThresholdPasses) {
+  bench::Report base = make_report(1e6, 250);
+  bench::Report cand = make_report(0.95e6, 260);  // -5% / +4%: inside gate
+  EXPECT_TRUE(bench::compare(base, cand).ok());
+}
+
+TEST(BenchCompare, MissingBenchmarkIsRegression) {
+  bench::Report base = make_report(1e6, 250);
+  bench::Report cand;  // candidate ran nothing
+  auto res = bench::compare(base, cand);
+  ASSERT_EQ(res.regressions.size(), 1u);
+  EXPECT_EQ(res.regressions[0].metric, "*");
+}
+
+TEST(BenchCompare, CustomThreshold) {
+  bench::Report base = make_report(1e6, 250);
+  bench::Report cand = make_report(0.85e6, 250);  // -15%
+  EXPECT_FALSE(bench::compare(base, cand, {.threshold = 0.10}).ok());
+  EXPECT_TRUE(bench::compare(base, cand, {.threshold = 0.20}).ok());
+}
+
+TEST(BenchHarness, RuntimeMicroSmoke) {
+  bench::RunOptions o;
+  o.warmup = 0;
+  o.reps = 2;
+  o.workers = 2;
+  o.micro_tasks = 500;
+  o.verbose = false;
+  bench::BenchResult b = bench::run_runtime_micro(o);
+  ASSERT_EQ(b.metrics.count("tasks_per_sec"), 1u);
+  const auto& m = b.metrics.at("tasks_per_sec");
+  EXPECT_GT(m.median, 0);
+  EXPECT_EQ(m.reps, 2);
+  // Telemetry counters captured through the registry delta.
+  EXPECT_GE(b.counters.count("sched.task_granularity_ns.count"), 1u);
+  EXPECT_GE(b.counters.at("sched.task_granularity_ns.count"), 1000.0);
+}
+
+TEST(BenchHarness, UtsVerifiesNodeCount) {
+  bench::RunOptions o;
+  o.warmup = 0;
+  o.reps = 1;
+  o.workers = 2;
+  o.uts_gen_mx = 4;  // tiny tree: this is a correctness smoke, not a bench
+  o.verbose = false;
+  bench::BenchResult b = bench::run_uts(o);
+  EXPECT_GT(b.metrics.at("nodes_per_sec").median, 0);
+  EXPECT_GT(b.counters.at("uts_tree_nodes"), 1.0);
+}
+
+// The ring overflow counter (trace.dropped): wrap a tiny ring and check the
+// drop count lands in the registry for --metrics / Chrome-trace metadata.
+TEST(TraceDropped, CountsRingOverwrites) {
+  std::uint64_t before =
+      support::MetricsRegistry::global().counter_value("trace.dropped");
+  {
+    support::trace::Ring ring(8);
+    support::trace::set_enabled(true);
+    for (int i = 0; i < 20; ++i) {
+      ring.record(support::trace::Ev::kTaskStart, std::uint32_t(i));
+    }
+    support::trace::set_enabled(false);
+  }
+  std::uint64_t after =
+      support::MetricsRegistry::global().counter_value("trace.dropped");
+  EXPECT_EQ(after - before, 12u);
+}
+
+TEST(Observe, ObservabilityFlagPartition) {
+  EXPECT_TRUE(support::is_observability_flag("--trace=t.json"));
+  EXPECT_TRUE(support::is_observability_flag("--metrics"));
+  EXPECT_TRUE(support::is_observability_flag("--metrics-json=m.json"));
+  EXPECT_TRUE(support::is_observability_flag("--prof-hz=997"));
+  EXPECT_TRUE(support::is_observability_flag("--prof-out=p.json"));
+  EXPECT_TRUE(support::is_observability_flag("--fault-drop-rate=0.1"));
+  EXPECT_FALSE(support::is_observability_flag("--benchmark_filter=BM_Task"));
+  EXPECT_FALSE(support::is_observability_flag("--workers=4"));
+  EXPECT_FALSE(support::is_observability_flag("trace"));
+}
+
+}  // namespace
