@@ -12,6 +12,8 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "core/api.h"
 #include "dddf/space.h"
@@ -26,10 +28,26 @@ namespace benchutil {
 // table from observe.h (--trace / --metrics / --metrics-json / --fault-* /
 // --prof-*) parsed once, with artifacts written when `ses` leaves scope.
 // Binary-specific knobs read from `ses.flags`.
+//
+// Also applies --steal=one|half|adaptive (the scheduler's steal-batch
+// policy) process-wide before any Runtime is built. It lives here rather
+// than in Observe because support/ cannot depend on core/.
 struct Session {
   support::Flags flags;
   support::Observe obs;
-  Session(int argc, char** argv) : flags(argc, argv), obs(flags) {}
+  Session(int argc, char** argv) : flags(argc, argv), obs(flags) {
+    const std::string steal = flags.get("steal", "");
+    if (!steal.empty()) {
+      hc::StealPolicy p;
+      if (!hc::parse_steal_policy(steal, &p)) {
+        std::fprintf(stderr,
+                     "error: bad --steal=%s (want one|half|adaptive)\n",
+                     steal.c_str());
+        std::exit(2);
+      }
+      hc::set_default_steal_policy(p);
+    }
+  }
 };
 
 inline void header(const char* artifact, const char* description) {

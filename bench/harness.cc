@@ -736,6 +736,22 @@ BenchResult run_smpi_msgrate(const RunOptions& o) {
   });
 }
 
+namespace {
+// Exact-token membership in the comma-separated --only list; empty = all.
+bool selected(const std::string& only, const char* name) {
+  if (only.empty()) return true;
+  std::size_t pos = 0;
+  const std::string n = name;
+  while (pos <= only.size()) {
+    std::size_t comma = only.find(',', pos);
+    if (comma == std::string::npos) comma = only.size();
+    if (only.compare(pos, comma - pos, n) == 0) return true;
+    pos = comma + 1;
+  }
+  return false;
+}
+}  // namespace
+
 Report run_all(const RunOptions& o) {
   Report r;
   char host[256] = "unknown";
@@ -743,12 +759,27 @@ Report run_all(const RunOptions& o) {
     std::strcpy(host, "unknown");
   }
   r.host = host;
-  if (o.verbose) {
-    std::printf("bench harness: %d warmup + %d measured reps, %d workers\n",
-                o.warmup, o.reps, o.workers);
+  if (!o.steal.empty()) {
+    hc::StealPolicy p;
+    if (!hc::parse_steal_policy(o.steal, &p)) {
+      std::fprintf(stderr, "bench: bad steal policy '%s' ignored\n",
+                   o.steal.c_str());
+    } else {
+      hc::set_default_steal_policy(p);
+    }
   }
-  for (BenchResult b : {run_runtime_micro(o), run_uts(o), run_smpi_msgrate(o)}) {
-    r.benchmarks[b.name] = std::move(b);
+  if (o.verbose) {
+    std::printf("bench harness: %d warmup + %d measured reps, %d workers, "
+                "steal=%s\n",
+                o.warmup, o.reps, o.workers,
+                hc::steal_policy_name(hc::default_steal_policy()));
+  }
+  if (selected(o.only, "runtime_micro")) {
+    r.benchmarks["runtime_micro"] = run_runtime_micro(o);
+  }
+  if (selected(o.only, "uts")) r.benchmarks["uts"] = run_uts(o);
+  if (selected(o.only, "smpi_msgrate")) {
+    r.benchmarks["smpi_msgrate"] = run_smpi_msgrate(o);
   }
   return r;
 }

@@ -84,7 +84,7 @@ struct BenchResult {
 
 struct Report {
   std::string schema = "hcmpi-bench/1";
-  int pr = 6;
+  int pr = 8;
   std::string host;
   std::map<std::string, BenchResult> benchmarks;
 };
@@ -127,6 +127,12 @@ struct RunOptions {
   int uts_chunk = 32;
   int msgrate_msgs = 20000; // ping-pongs per smpi_msgrate rep
   bool verbose = true;      // per-rep progress lines on stdout
+  // Steal-batch policy applied process-wide before the workloads run
+  // ("one" | "half" | "adaptive"; empty keeps the current default). The CI
+  // steal-ablation step flips this between two harness runs.
+  std::string steal;
+  // Comma-separated benchmark subset ("runtime_micro,uts"); empty = all.
+  std::string only;
 };
 
 BenchResult run_runtime_micro(const RunOptions& o);

@@ -103,7 +103,7 @@ void AwaitFrame::abandon() {
   task = nullptr;
   if (t != nullptr) {
     if (t->finish != nullptr) t->finish->dec();
-    delete t;
+    destroy_task(t);
   }
 }
 

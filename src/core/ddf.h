@@ -160,7 +160,7 @@ void async_await(std::vector<DdfBase*> deps, F&& fn) {
   FinishScope* fs = detail::require_finish();
   fs->inc();
   auto* frame = new AwaitFrame;
-  frame->task = new Task(std::forward<F>(fn), fs);
+  frame->task = rt.create_task(std::forward<F>(fn), fs);
   frame->task->check_strand = check::on_spawn();
   frame->rt = &rt;
   frame->deps = std::move(deps);
@@ -175,7 +175,7 @@ void async_await_any(std::vector<DdfBase*> deps, F&& fn) {
   FinishScope* fs = detail::require_finish();
   fs->inc();
   auto* frame = new AwaitFrame;
-  frame->task = new Task(std::forward<F>(fn), fs);
+  frame->task = rt.create_task(std::forward<F>(fn), fs);
   frame->task->check_strand = check::on_spawn();
   frame->rt = &rt;
   frame->deps = std::move(deps);

@@ -20,6 +20,7 @@ thread_local Runtime* tl_runtime = nullptr;
 void bind_worker_thread(Runtime* rt, Worker* w) {
   tl_worker = w;
   tl_runtime = rt;
+  w->task_pool().bind_owner();
   support::trace::set_thread_ring(&w->trace_ring());
   prof::register_thread(w->trace_name());
 }
@@ -34,7 +35,8 @@ Runtime::Runtime(const RuntimeConfig& cfg) {
   places_ = std::make_unique<PlaceTree>(cfg.place_depth, cfg.place_fanout);
   workers_.reserve(std::size_t(cfg.num_workers));
   for (int i = 0; i < cfg.num_workers; ++i) {
-    workers_.push_back(std::make_unique<Worker>(*this, i, /*has_thread=*/true));
+    workers_.push_back(
+        std::make_unique<Worker>(*this, i, /*has_thread=*/true, cfg.steal));
   }
   places_->assign_workers(cfg.num_workers);
   producer_storage_.reserve(kMaxProducers);
@@ -45,12 +47,17 @@ Runtime::Runtime(const RuntimeConfig& cfg) {
   prof_sampler_id_ = prof::add_sampler([this] {
     auto& reg = support::MetricsRegistry::global();
     double total = 0;
+    double half = 0;
     for (const auto& w : workers_) {
       double d = double(w->deque_depth());
       total += d;
       reg.histogram("sched.deque_depth").add(d);
+      if (w->stealing_half()) half += 1;
     }
     reg.gauge("sched.deque_depth.total").set(total);
+    // Adaptive-policy visibility: how many workers are currently in
+    // steal-half mode (constant for --steal=one/half).
+    reg.gauge("sched.steal_half_workers").set(half);
   });
 }
 
@@ -69,14 +76,15 @@ Runtime::~Runtime() {
   if (support::trace::enabled()) flush_trace_tracks();
   export_metrics(support::MetricsRegistry::global());
   // Drain anything never executed (only possible after an exceptional exit).
+  // destroy_task: pooled tasks recycle into their (still-live) worker pools.
   Task* t = nullptr;
-  while ((t = pop_injected()) != nullptr) delete t;
+  while ((t = pop_injected()) != nullptr) destroy_task(t);
 }
 
 void Runtime::launch(std::function<void()> root) {
   FinishScope scope(*this, nullptr);
   scope.inc();
-  Task* t = new Task(std::move(root), &scope);
+  Task* t = create_task(std::move(root), &scope);
   // Spawn edge from the launching thread, so pre-launch initialization
   // happens-before everything the root task does.
   t->check_strand = check::on_spawn();
@@ -96,11 +104,19 @@ Worker* Runtime::register_producer() {
   Worker* w = producer_storage_.back().get();
   producers_[std::size_t(n)].store(w, std::memory_order_release);
   producer_count_.store(n + 1, std::memory_order_release);
-  tl_worker = w;
-  tl_runtime = this;
-  support::trace::set_thread_ring(&w->trace_ring());
-  prof::register_thread(w->trace_name());
+  bind_worker_thread(this, w);
   return w;
+}
+
+Task* Runtime::create_task(std::function<void()> fn, FinishScope* fs,
+                           Place* place) {
+  Worker* w = tl_worker;
+  if (w != nullptr && tl_runtime == this) {
+    // Spawning thread owns a worker slot here: slab-pool allocation, no
+    // malloc on the spawn path.
+    return w->task_pool().acquire(std::move(fn), fs, place);
+  }
+  return new Task(std::move(fn), fs, place);
 }
 
 void Runtime::schedule(Task* t) {
@@ -173,6 +189,33 @@ std::uint64_t Runtime::total_failed_steal_rounds() const {
   return n;
 }
 
+std::uint64_t Runtime::total_steal_batches() const {
+  std::uint64_t n = 0;
+  for (const auto& w : workers_) n += w->steal_batches();
+  return n;
+}
+
+std::uint64_t Runtime::total_policy_switches() const {
+  std::uint64_t n = 0;
+  for (const auto& w : workers_) n += w->policy_switches();
+  return n;
+}
+
+Runtime::TaskPoolStats Runtime::task_pool_stats() const {
+  TaskPoolStats s;
+  auto add = [&](const Worker& w) {
+    const TaskPool& p = w.task_pool();
+    s.freelist_hits += p.freelist_hits();
+    s.freelist_misses += p.freelist_misses();
+    s.remote_frees += p.remote_frees();
+    s.slabs += p.slab_count();
+  };
+  for (const auto& w : workers_) add(*w);
+  int producers = producer_count_.load(std::memory_order_acquire);
+  for (int i = 0; i < producers; ++i) add(*producer_storage_[std::size_t(i)]);
+  return s;
+}
+
 std::vector<Runtime::WorkerCounters> Runtime::worker_counters() const {
   std::vector<WorkerCounters> out;
   auto snap = [&](const Worker& w) {
@@ -194,8 +237,15 @@ std::vector<Runtime::WorkerCounters> Runtime::worker_counters() const {
 void Runtime::export_metrics(support::MetricsRegistry& reg) const {
   reg.counter("hc.tasks_executed").add(total_tasks_executed());
   reg.counter("hc.steals").add(total_steals());
+  reg.counter("hc.steal_batches").add(total_steal_batches());
   reg.counter("hc.steal_attempts").add(total_steal_attempts());
   reg.counter("hc.failed_steal_rounds").add(total_failed_steal_rounds());
+  reg.counter("hc.steal_policy_switches").add(total_policy_switches());
+  TaskPoolStats ps = task_pool_stats();
+  reg.counter("hc.task_pool.freelist_hits").add(ps.freelist_hits);
+  reg.counter("hc.task_pool.freelist_misses").add(ps.freelist_misses);
+  reg.counter("hc.task_pool.remote_frees").add(ps.remote_frees);
+  reg.counter("hc.task_pool.slabs").add(ps.slabs);
   // Load-balance shape: one sample per computation worker, so p50/p95 of
   // tasks-per-worker expose skew without a name per worker id.
   auto& h = reg.histogram("hc.tasks_per_worker");

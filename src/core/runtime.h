@@ -36,6 +36,9 @@ struct RuntimeConfig {
   int place_depth = 0;
   int place_fanout = 2;
   std::uint64_t seed = 0x9E3779B97F4A7C15ull;
+  // Steal-batch policy for every worker; kDefault defers to the process-wide
+  // default (the --steal= flag / set_default_steal_policy), normally adaptive.
+  StealPolicy steal = StealPolicy::kDefault;
 };
 
 class Runtime {
@@ -77,6 +80,13 @@ class Runtime {
 
   // --- scheduling interface (used by api.h, ddf.cc, workers) ---
 
+  // Allocates a task on the spawning thread's worker pool when the thread is
+  // bound to this runtime (the normal spawn path — no malloc), falling back
+  // to the heap for external threads. Retirement goes through destroy_task()
+  // either way.
+  Task* create_task(std::function<void()> fn, FinishScope* fs,
+                    Place* place = nullptr);
+
   // Push from the current thread: to its own worker slot when it has one,
   // otherwise to the injection queue.
   void schedule(Task* t);
@@ -105,6 +115,17 @@ class Runtime {
   std::uint64_t total_steals() const;
   std::uint64_t total_steal_attempts() const;
   std::uint64_t total_failed_steal_rounds() const;
+  std::uint64_t total_steal_batches() const;
+  std::uint64_t total_policy_switches() const;
+
+  // Task-pool totals over all live slots (computation + producers).
+  struct TaskPoolStats {
+    std::uint64_t freelist_hits = 0;
+    std::uint64_t freelist_misses = 0;
+    std::uint64_t remote_frees = 0;
+    std::uint64_t slabs = 0;
+  };
+  TaskPoolStats task_pool_stats() const;
 
   // Per-worker breakdown over all live slots (computation + producers).
   struct WorkerCounters {

@@ -21,11 +21,16 @@ namespace hc {
 class Runtime;
 class Place;
 class FinishScope;
+class TaskPool;
 
 struct Task {
   std::function<void()> fn;
   FinishScope* finish = nullptr;
   Place* place = nullptr;
+  // Owning slab pool when pool-allocated (the normal spawn path); nullptr
+  // for heap-allocated tasks (external threads, launch roots). Retirement
+  // must go through destroy_task() (task_pool.h), never plain delete.
+  TaskPool* pool = nullptr;
   // hc-check strand id (0 = unassigned); dead weight unless HCMPI_CHECK.
   std::uint32_t check_strand = 0;
 

@@ -9,10 +9,61 @@ namespace hc {
 // Defined in runtime.cc next to the thread_locals it sets.
 void bind_worker_thread(Runtime* rt, Worker* w);
 
-Worker::Worker(Runtime& rt, int id, bool has_thread)
-    : rt_(rt), id_(id), has_thread_(has_thread),
-      rng_(0xC0FFEEull * std::uint64_t(id + 1) + 0x9E3779B9ull),
-      trace_name_((has_thread ? "worker-" : "producer-") + std::to_string(id)) {}
+namespace {
+// Process-wide default; kAdaptive unless --steal= / set_default_steal_policy
+// said otherwise. Read once per Worker construction, never on a hot path.
+std::atomic<StealPolicy> g_default_steal{StealPolicy::kAdaptive};
+}  // namespace
+
+void set_default_steal_policy(StealPolicy p) {
+  g_default_steal.store(p == StealPolicy::kDefault ? StealPolicy::kAdaptive : p,
+                        std::memory_order_relaxed);
+}
+
+StealPolicy default_steal_policy() {
+  return g_default_steal.load(std::memory_order_relaxed);
+}
+
+bool parse_steal_policy(std::string_view s, StealPolicy* out) {
+  if (s == "one") {
+    *out = StealPolicy::kOne;
+  } else if (s == "half") {
+    *out = StealPolicy::kHalf;
+  } else if (s == "adaptive") {
+    *out = StealPolicy::kAdaptive;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* steal_policy_name(StealPolicy p) {
+  switch (p) {
+    case StealPolicy::kOne:
+      return "one";
+    case StealPolicy::kHalf:
+      return "half";
+    case StealPolicy::kAdaptive:
+      return "adaptive";
+    case StealPolicy::kDefault:
+      break;
+  }
+  return "default";
+}
+
+Worker::Worker(Runtime& rt, int id, bool has_thread, StealPolicy policy)
+    : rt_(rt),
+      id_(id),
+      has_thread_(has_thread),
+      // Deterministic per-worker stream: the seed is a pure function of the
+      // worker id, so victim order replays under fault::schedule() capture.
+      victim_rng_(support::SplitMix64::mix(std::uint64_t(id) + 1)),
+      configured_(policy == StealPolicy::kDefault ? default_steal_policy()
+                                                  : policy),
+      trace_name_((has_thread ? "worker-" : "producer-") + std::to_string(id)) {
+  mode_half_.store(configured_ != StealPolicy::kOne,
+                   std::memory_order_relaxed);
+}
 
 Worker::~Worker() = default;
 
@@ -36,6 +87,41 @@ void Worker::push(Task* t) {
   deque_.push(t);
 }
 
+std::size_t Worker::steal_budget(const Worker& victim) const {
+  if (!mode_half_.load(std::memory_order_relaxed)) return 1;
+  // Half of what the victim appears to hold, so a shallow deque degrades to
+  // steal-one automatically and a deep one amortizes the scan.
+  std::size_t half = (victim.deque_depth() + 1) / 2;
+  if (half == 0) half = 1;
+  return half < kMaxStealBatch ? half : kMaxStealBatch;
+}
+
+void Worker::adaptive_note(bool success) {
+  if (configured_ != StealPolicy::kAdaptive) return;
+  ++window_rounds_;
+  if (!success) ++window_fails_;
+  if (window_rounds_ < kAdaptWindow) return;
+  bool half;
+  if (window_fails_ * 4 > window_rounds_ * 3) {
+    // Starved (>75% of rounds found nothing): make the rare win count by
+    // taking a batch.
+    half = true;
+  } else if (gran_valid_) {
+    // Fine-grained tasks are cheap to move and quick to re-steal — batch.
+    // Coarse tasks keep a thief busy for a long time anyway; taking many
+    // strands the victim's queue for no latency win.
+    half = gran_ewma_ns_ < kCoarseGrainNs;
+  } else {
+    half = true;  // no granularity signal yet: optimistic default
+  }
+  if (half != mode_half_.load(std::memory_order_relaxed)) {
+    mode_half_.store(half, std::memory_order_relaxed);
+    bump(policy_switches_);
+  }
+  window_rounds_ = 0;
+  window_fails_ = 0;
+}
+
 Task* Worker::try_get_task() {
   // 1. Own deque (LIFO end: locality, as in the paper's runtime).
   {
@@ -54,34 +140,48 @@ Task* Worker::try_get_task() {
   // 3. Injection queue (external submissions).
   if (Task* t = rt_.pop_injected()) return t;
 
-  // 4. Steal from a random victim; one full scan per call.
+  // 4. Steal from a random victim; one full scan per call, batch size set by
+  //    the policy (one / half / adaptive).
   int slots = rt_.total_slots();
   if (slots > 1) {
     trace_ring_.record(support::trace::Ev::kStealAttempt, std::uint32_t(id_));
     prof::ScopedState ps(prof::State::kStealAttempt);
     const bool tel = prof::telemetry();
     std::uint64_t t0 = tel ? support::trace::now_ns() : 0;
-    int start = int(rng_.next_below(std::uint64_t(slots)));
+    int start = int(victim_rng_.next_below(std::uint32_t(slots)));
     for (int k = 0; k < slots; ++k) {
       int v = (start + k) % slots;
       if (v == id_) continue;
       Worker* victim = rt_.slot(v);
-      if (victim == nullptr) continue;
+      // Relaxed depth pre-filter: an apparently-empty victim costs two
+      // relaxed loads, not the seq_cst fence + CAS traffic of a real probe.
+      // This is what keeps a pool of idle workers from hammering everyone
+      // else's deque tops.
+      if (victim == nullptr || victim->deque_depth() == 0) continue;
       bump(steal_attempts_);
-      if (Task* t = victim->steal()) {
-        bump(steals_);
-        trace_ring_.record(support::trace::Ev::kStealSuccess,
-                           std::uint32_t(v));
-        // Latency of the successful scan only: from scan start to the task
-        // in hand — the cost a victim's work pays to migrate.
-        if (tel)
-          prof::steal_latency_hist().add(
-              double(support::trace::now_ns() - t0));
-        return t;
+      Task* buf[kMaxStealBatch];
+      std::size_t got = victim->steal_some(buf, steal_budget(*victim));
+      if (got == 0) continue;
+      bump(steal_batches_);
+      steals_.store(steals_.load(std::memory_order_relaxed) + got,
+                    std::memory_order_relaxed);
+      trace_ring_.record(support::trace::Ev::kStealSuccess, std::uint32_t(v));
+      // Latency of the successful scan only: from scan start to tasks in
+      // hand — the cost a victim's work pays to migrate.
+      if (tel) {
+        prof::steal_latency_hist().add(double(support::trace::now_ns() - t0));
+        prof::steal_batch_hist().add(double(got));
       }
+      // Run the oldest ourselves; bank the surplus on our own deque, where
+      // other thieves (and our own pops) can get at it.
+      for (std::size_t i = 1; i < got; ++i) push_surplus(buf[i]);
+      if (got > 1) rt_.notify_work();
+      adaptive_note(true);
+      return buf[0];
     }
   }
   bump(failed_steal_rounds_);
+  adaptive_note(false);
   return nullptr;
 }
 
@@ -98,17 +198,32 @@ void Worker::run_task(Task* t) {
   }
   // Merge this task's history into its finish scope before dec() can release
   // the waiter, then restore the helper's own strand (help-first nesting).
-  check::on_task_end(t->finish, prev_strand);
+  FinishScope* fs = t->finish;
+  check::on_task_end(fs, prev_strand);
   Runtime::set_current_finish(prev);
-  if (t->finish != nullptr) t->finish->dec();
-  delete t;
+  // Retire the task BEFORE dec(): once a finish scope drains, every governed
+  // task's pool slot has been recycled (and its closure destroyed), so a
+  // spawner in steady state reuses slots instead of growing slabs.
+  destroy_task(t);
+  if (fs != nullptr) fs->dec();
 }
 
 void Worker::main_loop(std::stop_token st) {
   bind_worker_thread(&rt_, this);
+  int idle_rounds = 0;
   while (!st.stop_requested() && !rt_.stopping()) {
     if (Task* t = try_get_task()) {
+      idle_rounds = 0;
       execute(t);
+    } else if (idle_rounds < kSpinRounds) {
+      // Capped exponential backoff before parking: each failed round already
+      // swept every victim, so back off 2^n pauses and yield rather than
+      // re-scanning immediately (or paying the 1 ms park when work is about
+      // to appear). The yield matters on the 1-core CI host.
+      prof::ScopedState ps(prof::State::kIdle);
+      for (int i = 0; i < (1 << idle_rounds); ++i) support::cpu_relax();
+      std::this_thread::yield();
+      ++idle_rounds;
     } else {
       // Park span: the gap the paper's "computation workers never block in
       // MPI" claim is about — visible idle time, not hidden in MPI_Wait.

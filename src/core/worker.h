@@ -5,14 +5,22 @@
 // the work-stealing pool exactly as in the paper's Fig. 10 ("the
 // communication worker pushes the continuation ... onto its deque to be
 // stolen by computation workers").
+//
+// Hot-path design (DESIGN.md §8): task storage comes from a per-worker slab
+// pool (task_pool.h), thieves can take half a victim's pending tasks in one
+// steal_some() batch, and the steal policy (--steal=one|half|adaptive) is
+// resolved per worker, with adaptive switching on observed steal-failure
+// rate and task granularity.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <thread>
 
 #include "core/task.h"
+#include "core/task_pool.h"
 #include "prof/prof.h"
 #include "support/chase_lev_deque.h"
 #include "support/rng.h"
@@ -22,9 +30,30 @@ namespace hc {
 
 class Runtime;
 
+// How a thief sizes its steal batches. kDefault defers to the process-wide
+// default (set_default_steal_policy, normally kAdaptive), so RuntimeConfig
+// callers and the --steal= flag compose without every construction site
+// naming a policy.
+enum class StealPolicy : std::uint8_t { kDefault, kOne, kHalf, kAdaptive };
+
+// Process-wide default used when RuntimeConfig leaves steal = kDefault.
+// Setting kDefault restores the built-in (kAdaptive).
+void set_default_steal_policy(StealPolicy p);
+StealPolicy default_steal_policy();
+
+// "one" | "half" | "adaptive" (the --steal= flag values). False on anything
+// else; *out untouched.
+bool parse_steal_policy(std::string_view s, StealPolicy* out);
+const char* steal_policy_name(StealPolicy p);
+
 class Worker {
  public:
-  Worker(Runtime& rt, int id, bool has_thread);
+  // Largest steal batch a thief takes in one round, regardless of victim
+  // depth (bounds the stack buffer and the surplus re-pushed to our deque).
+  static constexpr std::size_t kMaxStealBatch = 16;
+
+  Worker(Runtime& rt, int id, bool has_thread,
+         StealPolicy policy = StealPolicy::kDefault);
   ~Worker();
 
   Worker(const Worker&) = delete;
@@ -39,15 +68,25 @@ class Worker {
   // Owner (or registered producer) push.
   void push(Task* t);
 
-  // Steal attempt from another worker's perspective.
-  Task* steal() { return deque_.steal().value_or(nullptr); }
+  // Steal attempt from another worker's perspective: up to max_n tasks in
+  // one batch (oldest first). Returns the count taken.
+  std::size_t steal_some(Task** out, std::size_t max_n) {
+    return deque_.steal_some(out, max_n);
+  }
+
+  // Single-task steal, kept for tests and external helpers.
+  Task* steal() {
+    Task* t = nullptr;
+    return steal_some(&t, 1) == 1 ? t : nullptr;
+  }
 
   // Pop + place-queue + injection + steal scan. Returns nullptr when no work
   // was found anywhere.
   Task* try_get_task();
 
   // Executes a task with the thread-local finish scope set, routing
-  // exceptions to the task's scope, and retires the task.
+  // exceptions to the task's scope, and retires the task (recycling its
+  // pool slot).
   static void run_task(Task* t);
 
   // run_task + this worker's execution counter; the form used by the main
@@ -62,8 +101,16 @@ class Worker {
       prof::ScopedState body(prof::State::kTaskBody);
       run_task(t);
     }
-    if (tel)
-      prof::task_granularity_hist().add(double(support::trace::now_ns() - t0));
+    if (tel) {
+      double ns = double(support::trace::now_ns() - t0);
+      prof::task_granularity_hist().add(ns);
+      // Adaptive-policy granularity signal: EWMA (1/8 gain) of this worker's
+      // own task bodies. Only fed while telemetry is on — the policy falls
+      // back to the failure-rate rule when no granularity estimate exists.
+      gran_ewma_ns_ = gran_valid_ ? gran_ewma_ns_ + (ns - gran_ewma_ns_) / 8.0
+                                  : ns;
+      gran_valid_ = true;
+    }
     trace_ring_.record(support::trace::Ev::kTaskEnd, std::uint32_t(id_));
   }
 
@@ -74,18 +121,40 @@ class Worker {
   std::uint64_t tasks_executed() const {
     return tasks_executed_.load(std::memory_order_relaxed);
   }
+  // Tasks that migrated here by stealing (a batch of k counts k).
   std::uint64_t steals() const {
     return steals_.load(std::memory_order_relaxed);
   }
+  // Successful steal rounds (a batch of k counts 1).
+  std::uint64_t steal_batches() const {
+    return steal_batches_.load(std::memory_order_relaxed);
+  }
+  // Probes of non-empty victims (empty victims are filtered by a relaxed
+  // depth estimate before any fence or CAS traffic).
   std::uint64_t steal_attempts() const {
     return steal_attempts_.load(std::memory_order_relaxed);
   }
   std::uint64_t failed_steal_rounds() const {
     return failed_steal_rounds_.load(std::memory_order_relaxed);
   }
+  // Adaptive one<->half transitions on this worker.
+  std::uint64_t policy_switches() const {
+    return policy_switches_.load(std::memory_order_relaxed);
+  }
+
+  // The policy this worker was configured with (kDefault already resolved).
+  StealPolicy steal_policy() const { return configured_; }
+  // Whether the next steal round would use a half batch (adaptive workers
+  // flip this at window boundaries; one/half workers are constant).
+  bool stealing_half() const {
+    return mode_half_.load(std::memory_order_relaxed);
+  }
 
   // Racy size estimate of the deque, for the telemetry depth gauge.
   std::size_t deque_depth() const { return deque_.size_approx(); }
+
+  TaskPool& task_pool() { return pool_; }
+  const TaskPool& task_pool() const { return pool_; }
 
   // This worker's trace event ring. The producer is the bound OS thread
   // (the worker's own thread, or the registered external thread for
@@ -102,21 +171,48 @@ class Worker {
   friend class Runtime;
   void main_loop(std::stop_token st);
 
+  // Batch budget for one probe of `victim` under the current mode.
+  std::size_t steal_budget(const Worker& victim) const;
+  // Feeds the adaptive controller one steal-round outcome; recomputes the
+  // mode every kAdaptWindow rounds.
+  void adaptive_note(bool success);
+  // Surplus from a steal batch: own-deque push without the kTaskSpawn trace
+  // event (migration, not a spawn).
+  void push_surplus(Task* t) { deque_.push(t); }
+
   static void bump(std::atomic<std::uint64_t>& c) {
     c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
   }
+
+  // Adaptive controller constants (see DESIGN.md §8 for the rationale).
+  static constexpr int kAdaptWindow = 32;        // steal rounds per decision
+  static constexpr double kCoarseGrainNs = 50e3; // above: steal-one
+  // Consecutive failed rounds spent in capped exponential spin (2^n pauses)
+  // before escalating to the 1 ms park in Runtime::idle_wait.
+  static constexpr int kSpinRounds = 10;
 
   Runtime& rt_;
   const int id_;
   const bool has_thread_;
   support::ChaseLevDeque<Task*> deque_;
-  support::Xoshiro256 rng_;
+  TaskPool pool_;
+  support::XorShift64 victim_rng_;  // deterministic stream, seeded from id
+  StealPolicy configured_;          // kOne/kHalf/kAdaptive (resolved)
   std::jthread thread_;
+
+  // Adaptive-policy state; written only by the owner thread.
+  std::atomic<bool> mode_half_{true};
+  int window_rounds_ = 0;
+  int window_fails_ = 0;
+  double gran_ewma_ns_ = 0;
+  bool gran_valid_ = false;
 
   std::atomic<std::uint64_t> tasks_executed_{0};
   std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> steal_batches_{0};
   std::atomic<std::uint64_t> steal_attempts_{0};
   std::atomic<std::uint64_t> failed_steal_rounds_{0};
+  std::atomic<std::uint64_t> policy_switches_{0};
 
   support::trace::Ring trace_ring_;
   std::string trace_name_;

@@ -392,6 +392,12 @@ support::MetricsRegistry::Histogram& task_granularity_hist() {
   return h;
 }
 
+support::MetricsRegistry::Histogram& steal_batch_hist() {
+  static auto& h =
+      support::MetricsRegistry::global().histogram("sched.steal_batch");
+  return h;
+}
+
 // --- reporting ---------------------------------------------------------------
 
 std::uint64_t ThreadReport::total_samples() const {

@@ -168,6 +168,7 @@ void set_gauge_period_ms(int ms);  // default 10
 
 support::MetricsRegistry::Histogram& steal_latency_hist();
 support::MetricsRegistry::Histogram& task_granularity_hist();
+support::MetricsRegistry::Histogram& steal_batch_hist();
 
 // --- reporting & export ------------------------------------------------------
 

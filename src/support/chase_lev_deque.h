@@ -92,6 +92,34 @@ class ChaseLevDeque {
     return value;
   }
 
+  // Any thread. Multi-pop for steal-half: takes up to `max_take` elements
+  // from the top (oldest first) in one call, writing them into out[0..).
+  // Returns the count taken; 0 when empty or a race was lost immediately.
+  //
+  // Each element is claimed with its own top CAS rather than one CAS over
+  // the whole range. A single range claim (CAS top from t to t+n) is unsound
+  // against the unmodified Chase–Lev owner protocol: the owner's pop takes
+  // index b-1 *without* touching top whenever it observed top < b-1, so
+  // between the thief's bottom read and its range CAS the owner can consume
+  // indices inside [t, t+n) — both sides would then run the same task — and
+  // a post-CAS bottom revalidation cannot close the window either, because
+  // the owner's empty-path restore (bottom := top) erases the evidence of
+  // how far it popped. Per-element CAS keeps the original one-steal safety
+  // argument (every claimed index was validated against a bottom load newer
+  // than the previous claim) while still amortizing the expensive part of
+  // stealing — the victim scan and the migration — over the whole batch;
+  // the CASes land back-to-back on an already-hot cache line. See
+  // DESIGN.md §8 for the full argument.
+  std::size_t steal_some(T* out, std::size_t max_take) {
+    std::size_t got = 0;
+    while (got < max_take) {
+      std::optional<T> v = steal();
+      if (!v.has_value()) break;
+      out[got++] = *v;
+    }
+    return got;
+  }
+
   // Approximate; for heuristics and stats only.
   std::size_t size_approx() const {
     std::int64_t b = bottom_.load(std::memory_order_relaxed);

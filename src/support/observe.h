@@ -18,6 +18,10 @@
 //   --prof-telemetry       scheduler/comm telemetry histograms and cadence
 //                          gauges (independent of --prof-hz: costs a clock
 //                          read + histogram insert per coarse event)
+//   --steal=one|half|adaptive  process-wide steal-batch policy (parsed by
+//                          benchutil::Session, not here — support/ cannot
+//                          depend on core/ — but recognized below so argv
+//                          partitioning keeps it away from other parsers)
 #pragma once
 
 #include <cstdio>
@@ -39,7 +43,8 @@ inline bool is_observability_flag(const char* arg) {
   if (a.rfind("--", 0) != 0) return false;
   const std::string body = a.substr(2, a.find('=') - 2);
   return body == "trace" || body == "metrics" || body == "metrics-json" ||
-         body.rfind("fault-", 0) == 0 || body.rfind("prof-", 0) == 0;
+         body == "steal" || body.rfind("fault-", 0) == 0 ||
+         body.rfind("prof-", 0) == 0;
 }
 
 class Observe {

@@ -31,6 +31,33 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+// xorshift64* — the scheduler's victim-selection generator: 8 bytes of
+// state, 3 shifts + 1 multiply per draw, and a deterministic stream per seed
+// so steal order replays byte-identically under fault::schedule() capture
+// (each worker seeds from its id; no shared or libc RNG state anywhere on
+// the steal path).
+class XorShift64 {
+ public:
+  explicit XorShift64(std::uint64_t seed)
+      : s_(seed != 0 ? seed : 0x9E3779B97F4A7C15ull) {}
+
+  std::uint64_t next() {
+    s_ ^= s_ << 13;
+    s_ ^= s_ >> 7;
+    s_ ^= s_ << 17;
+    return s_ * 0x2545F4914F6CDD1Dull;
+  }
+
+  // Uniform in [0, n) without a modulo (Lemire's multiply-shift reduction);
+  // n = 0 returns 0.
+  std::uint32_t next_below(std::uint32_t n) {
+    return std::uint32_t((std::uint64_t(std::uint32_t(next() >> 32)) * n) >> 32);
+  }
+
+ private:
+  std::uint64_t s_;
+};
+
 // xoshiro256** — general-purpose generator for tests and workload synthesis.
 class Xoshiro256 {
  public:

@@ -100,16 +100,17 @@ TEST(Stress, DeepAsyncRecursion) {
   hc::Runtime rt({.num_workers = 2});
   std::atomic<int> depth_reached{0};
   rt.launch([&] {
-    hc::finish([&] {
-      std::function<void(int)> recurse = [&](int d) {
-        if (d >= 2000) {
-          depth_reached.store(d);
-          return;
-        }
-        hc::async([&recurse, d] { recurse(d + 1); });
-      };
-      recurse(0);
-    });
+    // Declared outside the finish body: the chain tasks run while finish
+    // waits, i.e. after the body frame is gone, so the callable they capture
+    // by reference must live in the enclosing (still-active) frame.
+    std::function<void(int)> recurse = [&](int d) {
+      if (d >= 2000) {
+        depth_reached.store(d);
+        return;
+      }
+      hc::async([&recurse, d] { recurse(d + 1); });
+    };
+    hc::finish([&] { recurse(0); });
   });
   EXPECT_EQ(depth_reached.load(), 2000);
 }

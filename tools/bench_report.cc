@@ -3,11 +3,15 @@
 // Run mode (default) — execute the three canonical workloads and write the
 // canonical report:
 //
-//   bench_report [--out=BENCH_6.json] [--reps=5] [--warmup=1] [--workers=4]
+//   bench_report [--out=BENCH_8.json] [--reps=5] [--warmup=1] [--workers=4]
+//                [--steal=one|half|adaptive] [--only=bench1,bench2]
 //                [--quick] [--quiet]
 //
 //   --quick shrinks every workload (1 warmup, 3 reps, smaller trees/counts)
 //   for the CI perf-smoke lane; nightly/local runs use the defaults.
+//   --steal pins the scheduler's steal-batch policy for the whole run and
+//   --only restricts to a subset of the workloads — together they drive the
+//   CI steal-ablation step (one vs adaptive on runtime_micro).
 //
 // Compare mode — the perf gate. Diffs two reports and exits nonzero when any
 // gated metric's median regresses past the threshold:
@@ -18,6 +22,7 @@
 #include <string>
 
 #include "bench/harness.h"
+#include "core/worker.h"
 #include "support/flags.h"
 
 namespace {
@@ -78,10 +83,20 @@ int run_benchmarks(const support::Flags& flags) {
   o.uts_gen_mx = int(flags.get_int("uts-gen-mx", o.uts_gen_mx));
   o.msgrate_msgs = int(flags.get_int("msgrate-msgs", o.msgrate_msgs));
   o.verbose = !flags.get_bool("quiet", false);
+  o.steal = flags.get("steal", "");
+  o.only = flags.get("only", "");
+  if (!o.steal.empty()) {
+    hc::StealPolicy p;
+    if (!hc::parse_steal_policy(o.steal, &p)) {
+      std::fprintf(stderr, "bench_report: bad --steal=%s "
+                   "(want one|half|adaptive)\n", o.steal.c_str());
+      return 2;
+    }
+  }
 
   bench::Report r = bench::run_all(o);
 
-  const std::string out = flags.get("out", "BENCH_6.json");
+  const std::string out = flags.get("out", "BENCH_8.json");
   if (!bench::write_report(r, out)) {
     std::fprintf(stderr, "bench_report: failed to write %s\n", out.c_str());
     return 2;
