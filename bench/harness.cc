@@ -12,6 +12,7 @@
 
 #include "apps/uts/uts.h"
 #include "core/api.h"
+#include "net/boot.h"
 #include "prof/prof.h"
 #include "smpi/comm.h"
 #include "smpi/world.h"
@@ -383,6 +384,7 @@ std::string to_json(const Report& r) {
       counters.set(cname, Json::number(v));
     }
     jb.set("counters", std::move(counters));
+    jb.set("gated", Json::boolean(b.gated));
     benches.set(name, std::move(jb));
   }
   root.set("benchmarks", std::move(benches));
@@ -430,6 +432,7 @@ bool from_json(const std::string& text, Report* out, std::string* err) {
           if (jc.t == Json::T::kNum) b.counters[cname] = jc.num;
         }
       }
+      b.gated = jb.num_or("gated", 1) != 0;
       r.benchmarks[name] = std::move(b);
     }
   }
@@ -469,11 +472,29 @@ CompareResult compare(const Report& baseline, const Report& candidate,
   for (const auto& [bname, base] : baseline.benchmarks) {
     auto cit = candidate.benchmarks.find(bname);
     if (cit == candidate.benchmarks.end()) {
+      if (!base.gated) {
+        res.notes.push_back(bname +
+                            ": ungated benchmark missing from candidate");
+        continue;
+      }
       res.regressions.push_back({bname, "*", 0, 0, 1.0,
                                  "benchmark missing from candidate report"});
       continue;
     }
     const BenchResult& cand = cit->second;
+    if (!base.gated) {
+      for (const auto& [mname, bm] : base.metrics) {
+        auto mit = cand.metrics.find(mname);
+        if (mit == cand.metrics.end() || bm.median == 0) continue;
+        double change = (mit->second.median - bm.median) / bm.median;
+        std::snprintf(line, sizeof line,
+                      "%s/%s: %.6g -> %.6g %s (%+.1f%%, ungated)",
+                      bname.c_str(), mname.c_str(), bm.median,
+                      mit->second.median, bm.unit.c_str(), change * 100);
+        res.notes.emplace_back(line);
+      }
+      continue;
+    }
     for (const auto& [mname, bm] : base.metrics) {
       auto mit = cand.metrics.find(mname);
       if (mit == cand.metrics.end()) {
@@ -711,9 +732,15 @@ BenchResult run_uts(const RunOptions& o) {
   return res;
 }
 
-BenchResult run_smpi_msgrate(const RunOptions& o) {
-  const int msgs = o.msgrate_msgs;
-  return drive(o, "smpi_msgrate", "msgs_per_sec", "msgs/s", [&] {
+namespace {
+// Shared 2-rank ping-pong body. `mode` pins the transport for each rep and
+// restores the process mode afterwards, so a socket section can run inside
+// an otherwise thread-mode harness invocation (and vice versa).
+BenchResult run_msgrate(const RunOptions& o, const char* name, int msgs,
+                        net::Mode mode) {
+  return drive(o, name, "msgs_per_sec", "msgs/s", [&] {
+    const net::Mode prev = net::mode();
+    net::set_mode(mode);
     double elapsed = 0;
     smpi::World::run(2, [&](smpi::Comm& comm) {
       int payload = 0;
@@ -731,9 +758,25 @@ BenchResult run_smpi_msgrate(const RunOptions& o) {
         }
       }
     });
+    net::set_mode(prev);
     // Two messages cross the wire per round trip.
     return 2.0 * double(msgs) / elapsed;
   });
+}
+}  // namespace
+
+BenchResult run_smpi_msgrate(const RunOptions& o) {
+  return run_msgrate(o, "smpi_msgrate", o.msgrate_msgs, net::mode());
+}
+
+BenchResult run_smpi_msgrate_socket(const RunOptions& o) {
+  // Every hop crosses a real kernel socket; a quarter of the thread-mode
+  // message count keeps this section's wall time in the same ballpark.
+  BenchResult res = run_msgrate(o, "smpi_msgrate_socket",
+                                std::max(1, o.msgrate_msgs / 4),
+                                net::Mode::kSocket);
+  res.gated = false;
+  return res;
 }
 
 namespace {
@@ -768,11 +811,21 @@ Report run_all(const RunOptions& o) {
       hc::set_default_steal_policy(p);
     }
   }
+  if (!o.transport.empty()) {
+    net::Mode m;
+    if (!net::parse_mode(o.transport, &m)) {
+      std::fprintf(stderr, "bench: bad transport '%s' ignored\n",
+                   o.transport.c_str());
+    } else {
+      net::set_mode(m);
+    }
+  }
   if (o.verbose) {
     std::printf("bench harness: %d warmup + %d measured reps, %d workers, "
-                "steal=%s\n",
+                "steal=%s, transport=%s\n",
                 o.warmup, o.reps, o.workers,
-                hc::steal_policy_name(hc::default_steal_policy()));
+                hc::steal_policy_name(hc::default_steal_policy()),
+                net::mode() == net::Mode::kSocket ? "socket" : "thread");
   }
   if (selected(o.only, "runtime_micro")) {
     r.benchmarks["runtime_micro"] = run_runtime_micro(o);
@@ -780,6 +833,9 @@ Report run_all(const RunOptions& o) {
   if (selected(o.only, "uts")) r.benchmarks["uts"] = run_uts(o);
   if (selected(o.only, "smpi_msgrate")) {
     r.benchmarks["smpi_msgrate"] = run_smpi_msgrate(o);
+  }
+  if (selected(o.only, "smpi_msgrate_socket")) {
+    r.benchmarks["smpi_msgrate_socket"] = run_smpi_msgrate_socket(o);
   }
   return r;
 }

@@ -7,6 +7,7 @@
 // single root place.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -30,16 +31,20 @@ class Place {
   void push(Task* t) {
     std::lock_guard<std::mutex> lk(mu_);
     queue_.push_back(t);
+    size_.store(queue_.size(), std::memory_order_relaxed);
   }
 
   Task* try_pop() {
-    // Cheap unlocked emptiness probe keeps the hot scheduling path from
-    // hammering a contended lock; a stale read only delays pickup.
-    if (queue_.empty()) return nullptr;
+    // Cheap emptiness probe keeps the hot scheduling path from hammering a
+    // contended lock; a stale read only delays pickup. The probe reads a
+    // mirrored atomic count, never the deque itself — unlocked deque reads
+    // race with push_back's internal-map updates.
+    if (size_.load(std::memory_order_relaxed) == 0) return nullptr;
     std::lock_guard<std::mutex> lk(mu_);
     if (queue_.empty()) return nullptr;
     Task* t = queue_.front();
     queue_.pop_front();
+    size_.store(queue_.size(), std::memory_order_relaxed);
     return t;
   }
 
@@ -51,6 +56,7 @@ class Place {
   std::vector<Place*> children_;
   std::mutex mu_;
   std::deque<Task*> queue_;
+  std::atomic<std::size_t> size_{0};
 };
 
 class PlaceTree {

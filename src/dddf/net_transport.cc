@@ -1,0 +1,235 @@
+#include "dddf/net_transport.h"
+
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+
+#include "fault/fault.h"
+#include "net/fabric.h"
+#include "prof/prof.h"
+#include "smpi/world.h"
+#include "support/metrics.h"
+#include "support/spin.h"
+#include "support/trace.h"
+
+namespace dddf {
+
+// One World hosts up to one NetAmTransport per rank; the World exposes a
+// single non-kSmpi frame handler, so the transports of a World share a demux
+// table. The first transport installs the handler, the last removes it.
+struct NetAmDemux {
+  std::mutex mu;
+  std::map<int, NetAmTransport*> by_rank;
+  // Frames for a rank whose transport is not constructed yet (its thread
+  // lost the construction race). The fabric acked them on release, so they
+  // must be parked, not dropped, and drained when the rank registers.
+  std::map<int, std::deque<net::Frame>> parked;
+
+  static std::shared_ptr<NetAmDemux> acquire(smpi::World& w,
+                                             NetAmTransport* t, int rank) {
+    static std::mutex g_mu;
+    static std::map<smpi::World*, std::weak_ptr<NetAmDemux>> g_tables;
+    std::lock_guard<std::mutex> lk(g_mu);
+    std::shared_ptr<NetAmDemux> d = g_tables[&w].lock();
+    if (!d) {
+      d = std::make_shared<NetAmDemux>();
+      g_tables[&w] = d;
+      std::weak_ptr<NetAmDemux> weak = d;
+      w.set_net_handler([weak](net::Frame&& f) {
+        std::shared_ptr<NetAmDemux> demux = weak.lock();
+        if (!demux) return;
+        // Routed (or parked) under mu so a registering transport's drain
+        // cannot interleave with fresh arrivals and reorder the stream.
+        std::lock_guard<std::mutex> dlk(demux->mu);
+        auto it = demux->by_rank.find(int(f.dst));
+        if (it != demux->by_rank.end()) {
+          it->second->ingest(std::move(f));
+        } else {
+          demux->parked[int(f.dst)].push_back(std::move(f));
+        }
+      });
+    }
+    {
+      std::lock_guard<std::mutex> dlk(d->mu);
+      d->by_rank[rank] = t;
+      auto pit = d->parked.find(rank);
+      if (pit != d->parked.end()) {
+        for (net::Frame& f : pit->second) t->ingest(std::move(f));
+        d->parked.erase(pit);
+      }
+    }
+    return d;
+  }
+
+  void release(smpi::World& w, int rank) {
+    bool empty;
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      by_rank.erase(rank);
+      // Anything still parked for this rank arrived after its transport
+      // finished (post-finalize stragglers): drop it with the rank.
+      parked.erase(rank);
+      empty = by_rank.empty();
+    }
+    if (empty) w.set_net_handler(nullptr);
+  }
+};
+
+namespace {
+// Keeps the demux alive per transport without widening the header.
+std::mutex g_holders_mu;
+std::map<const NetAmTransport*, std::shared_ptr<NetAmDemux>> g_holders;
+}  // namespace
+
+NetAmTransport::NetAmTransport(smpi::World& world, int rank)
+    : Transport(rank, world.size()), world_(world) {
+  net::Fabric* fab = world.net_fabric(rank);
+  if (fab == nullptr) {
+    throw std::logic_error(
+        "dddf: NetAmTransport requires --transport=socket");
+  }
+  if (fab->nprocs() != world.size()) {
+    throw std::logic_error(
+        "dddf: NetAmTransport requires one rank per fabric process "
+        "(socket loopback, or hcmpi_launch with ranks-per-proc 1); "
+        "co-located ranks should use MpiTransport");
+  }
+  tx_seq_.reset(
+      new std::atomic<std::uint64_t>[std::size_t(world.size())]());
+  {
+    std::lock_guard<std::mutex> lk(g_holders_mu);
+    g_holders[this] = NetAmDemux::acquire(world, this, rank);
+  }
+  progress_ = std::jthread([this] { progress_loop(); });
+}
+
+NetAmTransport::~NetAmTransport() {
+  Msg stop;
+  stop.kind = Msg::Kind::kStop;
+  queue_.push(std::move(stop));
+  if (progress_.joinable()) progress_.join();
+  std::shared_ptr<NetAmDemux> d;
+  {
+    std::lock_guard<std::mutex> lk(g_holders_mu);
+    auto it = g_holders.find(this);
+    d = it->second;
+    g_holders.erase(it);
+  }
+  d->release(world_, rank());
+}
+
+void NetAmTransport::ingest(net::Frame&& f) {
+  Msg m;
+  m.kind = f.kind == net::FrameKind::kAmRegister ? Msg::Kind::kRegister
+                                                 : Msg::Kind::kData;
+  net::ByteReader rd(f.payload);
+  std::int32_t src, dst;
+  if (!rd.i32(&src) || !rd.i32(&dst) || !rd.u64(&m.guid) ||
+      !rd.u64(&m.seq) || !rd.u64(&m.ts_inject)) {
+    return;  // torn subheader
+  }
+  m.src = src;
+  m.payload.assign(f.payload.begin() + std::ptrdiff_t(rd.off),
+                   f.payload.end());
+  queue_.push(std::move(m));
+}
+
+void NetAmTransport::send_am(net::FrameKind kind, Guid guid, int to,
+                             Bytes payload) {
+  net::Frame f;
+  f.kind = kind;
+  net::put_i32(f.payload, rank());
+  net::put_i32(f.payload, to);
+  net::put_u64(f.payload, guid);
+  net::put_u64(f.payload,
+               tx_seq_[std::size_t(to)].fetch_add(
+                   1, std::memory_order_relaxed));
+  // Trace epochs only line up inside one process (loopback).
+  net::put_u64(f.payload, !world_.multiproc() && prof::telemetry()
+                              ? support::trace::now_ns()
+                              : 0);
+  f.payload.insert(f.payload.end(), payload.begin(), payload.end());
+  net::Fabric& fab = *world_.net_fabric(rank());
+  const int dst_proc = world_.net_proc_of(to);
+  // Nonblocking submit with explicit kWouldBlock handling: backpressure
+  // from the bounded per-peer queue is expected under chaos, and a dead or
+  // refused peer is dropped here — finalize_barrier names it later.
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    switch (fab.try_send(dst_proc, f)) {
+      case net::Fabric::SendResult::kOk:
+        return;
+      case net::Fabric::SendResult::kWouldBlock:
+        fault::retry_backoff(attempt);
+        continue;
+      case net::Fabric::SendResult::kPeerDead:
+      case net::Fabric::SendResult::kRefused:
+      case net::Fabric::SendResult::kClosed:
+        return;  // unreachable peer: surfaced by the barrier, not here
+    }
+  }
+}
+
+void NetAmTransport::send_register(Guid guid, int home) {
+  send_am(net::FrameKind::kAmRegister, guid, home, {});
+}
+
+void NetAmTransport::send_data(Guid guid, int to, Bytes payload) {
+  send_am(net::FrameKind::kAmData, guid, to, std::move(payload));
+  data_sent_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void NetAmTransport::post(std::function<void()> fn) {
+  Msg m;
+  m.kind = Msg::Kind::kPost;
+  m.fn = std::move(fn);
+  queue_.push(std::move(m));
+}
+
+void NetAmTransport::progress_loop() {
+  support::Backoff backoff;
+  for (;;) {
+    Msg msg;
+    if (!queue_.pop(msg)) {
+      backoff.pause();
+      continue;
+    }
+    backoff.reset();
+    if (msg.kind == Msg::Kind::kStop) return;
+    if (msg.kind == Msg::Kind::kPost) {
+      msg.fn();
+      continue;
+    }
+    // End-to-end exactly-once: the fabric passes duplicates below its
+    // reorder horizon UP (a retransmit that raced its ack), so this filter
+    // is load-bearing on the real wire.
+    if (!seen_[msg.src].accept(msg.seq)) continue;
+    if (!handlers_bound()) {
+      // A remote rank can outrun this rank's Space construction.
+      support::Backoff bind_wait;
+      while (!handlers_bound()) bind_wait.pause();
+    }
+    if (msg.ts_inject != 0) {
+      static auto& h = support::MetricsRegistry::global().histogram(
+          "am.delivery_latency_ns");
+      std::uint64_t now = support::trace::now_ns();
+      if (now >= msg.ts_inject) h.add(double(now - msg.ts_inject));
+    }
+    if (msg.kind == Msg::Kind::kRegister) {
+      on_register_(msg.guid, msg.src);
+    } else {
+      on_data_(msg.guid, std::move(msg.payload));
+    }
+  }
+}
+
+void NetAmTransport::finalize_barrier(std::uint64_t timeout_ms) {
+  if (timeout_ms == 0) timeout_ms = fault::finalize_timeout_ms();
+  const std::uint16_t epoch = ++barrier_epoch_;
+  std::vector<int> missing;
+  if (!world_.net_fabric(rank())->barrier(epoch, timeout_ms, &missing)) {
+    // proc == rank in every supported topology (enforced in the ctor).
+    throw BarrierTimeout(rank(), std::move(missing));
+  }
+}
+
+}  // namespace dddf

@@ -1,0 +1,82 @@
+// Socket-backed active-message transport for the DDDF space: REGISTER and
+// DATA ride the same net::Fabric mesh as smpi traffic (kAmRegister /
+// kAmData frames), so the protocol crosses real Unix-domain/TCP sockets
+// with the connection layer's framing, acks and RTO retransmission under it.
+//
+// Reliability split (DESIGN.md §9): the fabric gives at-least-once in-order
+// *release* per connection — duplicates below the reorder horizon are passed
+// up, not swallowed. This transport supplies the end-to-end half: a gapless
+// per-(src,dst) sequence number on every AM and a bounded SeqTracker per
+// sender on the receive side, keeping the payload transfer at-most-once.
+// finalize_barrier maps onto the fabric barrier, so a dead rank surfaces as
+// a BarrierTimeout naming it instead of a hang.
+//
+// Topology restriction: one rank per fabric process (the socket *loopback*
+// configuration, or hcmpi_launch with one rank per process). The
+// constructor throws otherwise — co-located ranks should use MpiTransport,
+// which multiplexes through smpi.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "dddf/transport.h"
+#include "net/frame.h"
+#include "support/mpsc_queue.h"
+
+namespace smpi {
+class World;
+}
+
+namespace dddf {
+
+class NetAmTransport : public Transport {
+ public:
+  // `world` must be socket-mode with proc == rank (see above). Collective:
+  // every rank constructs its transport against the same World.
+  NetAmTransport(smpi::World& world, int rank);
+  ~NetAmTransport() override;
+
+  void send_register(Guid guid, int home) override;
+  void send_data(Guid guid, int to, Bytes payload) override;
+  void post(std::function<void()> fn) override;
+  void finalize_barrier(std::uint64_t timeout_ms = 0) override;
+
+  std::uint64_t data_messages_sent() const {
+    return data_sent_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Msg {
+    enum class Kind : std::uint8_t { kRegister, kData, kPost, kStop };
+    Kind kind = Kind::kPost;
+    Guid guid = 0;
+    int src = -1;
+    std::uint64_t seq = 0;
+    std::uint64_t ts_inject = 0;
+    Bytes payload;
+    std::function<void()> fn;  // kPost
+  };
+
+  void progress_loop();
+  // Frame -> queue, called on the fabric IO thread (via the World demux).
+  void ingest(net::Frame&& f);
+  void send_am(net::FrameKind kind, Guid guid, int to, Bytes payload);
+
+  smpi::World& world_;
+  std::atomic<std::uint64_t> data_sent_{0};
+  // Gapless per-destination AM sequence counters (the dedup identity).
+  std::unique_ptr<std::atomic<std::uint64_t>[]> tx_seq_;
+  // Progress-thread-only: exactly-once filter per sending rank.
+  std::map<int, net::SeqTracker> seen_;
+  support::MpscQueue<Msg> queue_;
+  std::uint16_t barrier_epoch_ = 0;
+  std::jthread progress_;
+
+  friend struct NetAmDemux;
+};
+
+}  // namespace dddf

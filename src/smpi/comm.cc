@@ -10,6 +10,15 @@ int Comm::size() const {
   return group_ ? int(group_->size()) : world_->size();
 }
 
+int Comm::local_size() const {
+  if (!group_) return world_->local_size();
+  int n = 0;
+  for (int r : *group_) {
+    if (world_->is_local(r)) ++n;
+  }
+  return n;
+}
+
 Endpoint& Comm::endpoint(int rank) const {
   return world_->endpoint(world_rank(rank));
 }

@@ -30,6 +30,10 @@ class Comm {
 
   int rank() const { return rank_; }
   int size() const;
+  // Members of this communicator hosted by THIS process — == size() except
+  // under hcmpi_launch. Tests counting per-rank side effects in captured
+  // state must count against this, not size().
+  int local_size() const;
   World& world() const { return *world_; }
   std::uint32_t context() const { return context_; }
 

@@ -6,11 +6,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <mutex>
-#include <set>
-#include <utility>
 #include <vector>
 
+#include "net/frame.h"
 #include "smpi/request.h"
 #include "smpi/types.h"
 
@@ -82,10 +82,12 @@ class Endpoint {
   std::deque<Request> posted_;
   std::deque<Envelope> unexpected_;
   std::uint64_t unexpected_hw_ = 0;
-  // Accepted (wire_src, wire_seq) pairs — the at-most-once filter for faulty
-  // deliveries. Only populated while injection is armed; chaos runs are short
-  // so the set is left unbounded.
-  std::set<std::pair<int, std::uint64_t>> wire_seen_;
+  // Exactly-once filter for deliveries that crossed a wire (fault injection
+  // or the socket transport): one bounded SeqTracker per sending world rank.
+  // Memory is O(outstanding gaps) per sender, not O(messages) — both the
+  // thread-mode chaos channel counters and the socket pair_seq counters are
+  // (mostly) gapless, so the tracker collapses to a floor.
+  std::map<int, net::SeqTracker> wire_seen_;
 };
 
 }  // namespace smpi

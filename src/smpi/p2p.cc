@@ -12,42 +12,10 @@
 namespace smpi {
 
 ErrorCode Comm::wire_deliver(int dest, Envelope&& env) {
-  Endpoint& ep = endpoint(dest);
-  if (!fault::enabled()) {
-    ep.deliver(std::move(env));
-    return ErrorCode::kOk;
-  }
-  int src_w = world_rank(rank_);
-  int dst_w = world_rank(dest);
-  if (fault::rank_dead(src_w) || fault::rank_dead(dst_w)) {
-    return ErrorCode::kRankDead;
-  }
-  fault::Decision d = fault::decide(src_w, dst_w);
-  env.faulty = true;
-  env.wire_src = src_w;
-  env.wire_seq = d.seq;  // fixed across retransmits: the dedup identity
-  for (std::uint32_t attempt = 0;; ++attempt) {
-    if (d.delay_us != 0) {
-      std::this_thread::sleep_for(std::chrono::microseconds(d.delay_us));
-    }
-    if (!d.drop) {
-      if (d.dup) {
-        Envelope copy = env;
-        ep.deliver(std::move(copy));
-      }
-      ep.deliver(std::move(env));
-      return ErrorCode::kOk;
-    }
-    // The wire ate this attempt. Delivery is synchronous here, so the lost
-    // ack surfaces immediately as this failed call: back off (capped
-    // exponential) and retransmit under the same wire_seq; the receiver
-    // dedups if an earlier copy did land.
-    fault::retry_backoff(attempt);
-    if (fault::rank_dead(src_w) || fault::rank_dead(dst_w)) {
-      return ErrorCode::kRankDead;
-    }
-    d = fault::decide(src_w, dst_w);
-  }
+  // World::deliver picks the wire: direct endpoint call for co-located
+  // ranks (through the fault decision point when injection is armed),
+  // framed socket transmission for remote ones.
+  return world_->deliver(world_rank(rank_), world_rank(dest), std::move(env));
 }
 
 Request Comm::isend(const void* buf, std::size_t bytes, int dest, int tag) {

@@ -21,7 +21,13 @@ Window Window::create(Comm& comm, void* base, std::size_t bytes) {
   comm.bcast(&id, sizeof id, 0);
   if (comm.rank() != 0) {
     shared = std::static_pointer_cast<Shared>(comm.world().stash_get(id));
-    if (!shared) throw std::logic_error("smpi: window stash miss");
+    if (!shared) {
+      // The stash is process-local shared memory: under hcmpi_launch the
+      // creating rank lives in another process and the id resolves nowhere.
+      throw std::logic_error(
+          "smpi: window stash miss (RMA windows require co-located ranks; "
+          "not supported across hcmpi_launch processes)");
+    }
   }
   Region& mine = shared->regions[std::size_t(comm.rank())];
   mine.base = base;

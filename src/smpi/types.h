@@ -53,10 +53,13 @@ void apply_op(Op op, Datatype t, void* inout, const void* in,
 
 enum class ErrorCode : int {
   kOk = 0,
-  kTruncate = 1,   // message longer than the posted buffer
-  kCancelled = 2,  // request cancelled before completion
-  kTimeout = 3,    // request deadline expired before a match (hc-fault)
-  kRankDead = 4,   // peer rank fail-stopped (hc-fault kill_rank injection)
+  kTruncate = 1,     // message longer than the posted buffer
+  kCancelled = 2,    // request cancelled before completion
+  kTimeout = 3,      // request deadline expired before a match (hc-fault)
+  kRankDead = 4,     // peer rank fail-stopped (kill injection or silence on
+                     // the socket wire past the death timeout)
+  kWouldBlock = 5,   // bounded socket send queue full; retry after a pause
+  kConnRefused = 6,  // peer process never came up inside the connect window
 };
 
 inline const char* error_name(ErrorCode e) {
@@ -66,6 +69,8 @@ inline const char* error_name(ErrorCode e) {
     case ErrorCode::kCancelled: return "cancelled";
     case ErrorCode::kTimeout: return "timeout";
     case ErrorCode::kRankDead: return "rank_dead";
+    case ErrorCode::kWouldBlock: return "would_block";
+    case ErrorCode::kConnRefused: return "conn_refused";
   }
   return "?";
 }

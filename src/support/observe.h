@@ -10,6 +10,9 @@
 //   --metrics              human-readable metrics-registry dump on stdout
 //   --metrics-json=<file>  machine-readable metrics-registry export
 //   --fault-*              hc-fault injection knobs (see fault/fault.h)
+//   --transport=thread|socket  smpi wire transport (see net/boot.h): ranks
+//                          as threads with direct delivery, or real Unix
+//                          domain / TCP sockets between processes
 //   --prof-hz=<N>          sampling profiler at N Hz (997 when =0 given)
 //   --prof-out=<file>      profiler report: speedscope JSON (.json) or
 //                          collapsed stacks (anything else)
@@ -28,6 +31,7 @@
 #include <string>
 
 #include "fault/fault.h"
+#include "net/boot.h"
 #include "prof/prof.h"
 #include "support/flags.h"
 #include "support/metrics.h"
@@ -43,8 +47,8 @@ inline bool is_observability_flag(const char* arg) {
   if (a.rfind("--", 0) != 0) return false;
   const std::string body = a.substr(2, a.find('=') - 2);
   return body == "trace" || body == "metrics" || body == "metrics-json" ||
-         body == "steal" || body.rfind("fault-", 0) == 0 ||
-         body.rfind("prof-", 0) == 0;
+         body == "steal" || body == "transport" ||
+         body.rfind("fault-", 0) == 0 || body.rfind("prof-", 0) == 0;
 }
 
 class Observe {
@@ -59,6 +63,7 @@ class Observe {
       trace::set_enabled(true);
     }
     fault::configure(flags);  // --fault-* knobs (no-ops when absent)
+    net::configure(flags);    // --transport=thread|socket
 
     int hz = int(flags.get_int("prof-hz", 0));
     telemetry_ = flags.get_bool("prof-telemetry", false);

@@ -81,6 +81,11 @@ const char* ev_name(Ev e) {
     case Ev::kRetry: return "retry";
     case Ev::kRequestTimeout: return "request_timeout";
     case Ev::kWatchdogFired: return "watchdog_fired";
+    case Ev::kConnUp: return "conn_up";
+    case Ev::kConnDown: return "conn_down";
+    case Ev::kConnRefused: return "conn_refused";
+    case Ev::kPeerDead: return "peer_dead";
+    case Ev::kNetBackpressure: return "net_backpressure";
   }
   return "?";
 }
@@ -304,6 +309,11 @@ std::string chrome_trace_json() {
         case Ev::kRetry:
         case Ev::kRequestTimeout:
         case Ev::kWatchdogFired:
+        case Ev::kConnUp:
+        case Ev::kConnDown:
+        case Ev::kConnRefused:
+        case Ev::kPeerDead:
+        case Ev::kNetBackpressure:
           sep();
           append(out,
                  "{\"ph\":\"i\",\"name\":\"%s\",\"cat\":\"worker\",\"s\":\"t\","

@@ -67,6 +67,13 @@ enum class Ev : std::uint8_t {
   kRetry,           // a = attempt number, b = backoff slept in us
   kRequestTimeout,  // a = comm-task slot, b = generation
   kWatchdogFired,   // a = outstanding ACTIVE tasks, b = stall duration ns
+
+  // hc-net socket fabric (src/net/fabric.cc, recorded on the IO thread).
+  kConnUp,           // a = peer proc, b = 1 when this is a reconnect
+  kConnDown,         // a = peer proc, b = errno that tore the connection
+  kConnRefused,      // a = peer proc (never came up in the connect window)
+  kPeerDead,         // a = peer proc, b = observed silence in ns
+  kNetBackpressure,  // a = dst proc, b = send-queue depth at rejection
 };
 
 // What an Ev means for the exporter.

@@ -189,10 +189,13 @@ TEST_P(HcmpiCollectives, BarrierSynchronizes) {
   std::atomic<int> entered{0};
   std::atomic<bool> violated{false};
   run_hcmpi(p, 2, [&](hcmpi::Context& ctx) {
+    // `entered` only sees ranks hosted by this process (hcmpi_launch).
     for (int round = 1; round <= 3; ++round) {
       entered.fetch_add(1);
       ctx.barrier();
-      if (entered.load() < round * ctx.size()) violated.store(true);
+      if (entered.load() < round * ctx.user_comm().local_size()) {
+        violated.store(true);
+      }
     }
   });
   EXPECT_FALSE(violated.load());
@@ -293,8 +296,11 @@ TEST_P(HcmpiPhaserModes, PhaserBarrierAcrossRanksAndTasks) {
             // Fuzzy: the first local arrival starts the inter-node barrier
             // (overlap is the point), so release only implies every rank
             // finished the previous phase and started this one.
-            int required = fuzzy ? (phase - 1) * ranks * tasks + ranks
-                                 : phase * ranks * tasks;
+            // Count against locally hosted ranks: under hcmpi_launch the
+            // other ranks' arrivals land in other processes' counters.
+            int lr = ctx.user_comm().local_size();
+            int required = fuzzy ? (phase - 1) * lr * tasks + lr
+                                 : phase * lr * tasks;
             if (arrivals.load() < required) violated.store(true);
           }
           ph.drop(reg);

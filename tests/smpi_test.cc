@@ -246,10 +246,12 @@ TEST_P(SmpiCollectives, Barrier) {
   std::atomic<int> entered{0};
   std::atomic<bool> violated{false};
   smpi::World::run(p, [&](smpi::Comm& comm) {
+    // `entered` only sees ranks in this process: under hcmpi_launch the
+    // comm spans processes, so count against local_size(), not size().
     for (int round = 1; round <= 5; ++round) {
       entered.fetch_add(1);
       comm.barrier();
-      if (entered.load() < round * comm.size()) violated.store(true);
+      if (entered.load() < round * comm.local_size()) violated.store(true);
     }
   });
   EXPECT_FALSE(violated.load());

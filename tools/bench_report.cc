@@ -3,15 +3,19 @@
 // Run mode (default) — execute the three canonical workloads and write the
 // canonical report:
 //
-//   bench_report [--out=BENCH_8.json] [--reps=5] [--warmup=1] [--workers=4]
-//                [--steal=one|half|adaptive] [--only=bench1,bench2]
-//                [--quick] [--quiet]
+//   bench_report [--out=BENCH_9.json] [--reps=5] [--warmup=1] [--workers=4]
+//                [--steal=one|half|adaptive] [--transport=thread|socket]
+//                [--only=bench1,bench2] [--quick] [--quiet]
 //
 //   --quick shrinks every workload (1 warmup, 3 reps, smaller trees/counts)
 //   for the CI perf-smoke lane; nightly/local runs use the defaults.
 //   --steal pins the scheduler's steal-batch policy for the whole run and
 //   --only restricts to a subset of the workloads — together they drive the
 //   CI steal-ablation step (one vs adaptive on runtime_micro).
+//   --transport pins the wire for the run (smpi_msgrate is the workload that
+//   touches it); the smpi_msgrate_socket section always forces loopback
+//   sockets and is recorded ungated, so the default report carries a
+//   thread-vs-socket baseline side by side.
 //
 // Compare mode — the perf gate. Diffs two reports and exits nonzero when any
 // gated metric's median regresses past the threshold:
@@ -23,6 +27,7 @@
 
 #include "bench/harness.h"
 #include "core/worker.h"
+#include "net/boot.h"
 #include "support/flags.h"
 
 namespace {
@@ -84,6 +89,7 @@ int run_benchmarks(const support::Flags& flags) {
   o.msgrate_msgs = int(flags.get_int("msgrate-msgs", o.msgrate_msgs));
   o.verbose = !flags.get_bool("quiet", false);
   o.steal = flags.get("steal", "");
+  o.transport = flags.get("transport", "");
   o.only = flags.get("only", "");
   if (!o.steal.empty()) {
     hc::StealPolicy p;
@@ -93,10 +99,18 @@ int run_benchmarks(const support::Flags& flags) {
       return 2;
     }
   }
+  if (!o.transport.empty()) {
+    net::Mode m;
+    if (!net::parse_mode(o.transport, &m)) {
+      std::fprintf(stderr, "bench_report: bad --transport=%s "
+                   "(want thread|socket)\n", o.transport.c_str());
+      return 2;
+    }
+  }
 
   bench::Report r = bench::run_all(o);
 
-  const std::string out = flags.get("out", "BENCH_8.json");
+  const std::string out = flags.get("out", "BENCH_9.json");
   if (!bench::write_report(r, out)) {
     std::fprintf(stderr, "bench_report: failed to write %s\n", out.c_str());
     return 2;
